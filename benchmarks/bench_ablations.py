@@ -1,0 +1,45 @@
+"""A3/A4 — design-choice ablations on the simulated testbed.
+
+* Quenching (Section VI future work): an advertised-but-unobserved
+  publisher should put (almost) nothing on the air when quenching is on.
+* Loss: the delivery semantics must hold verbatim under datagram loss,
+  with the cost visible as latency, not as missing or reordered events.
+"""
+
+from repro.bench.experiments import run_loss_sweep, run_quench_experiment
+from repro.bench.reporting import format_series_table
+
+
+def test_quenching_saves_radio_traffic(once, benchmark):
+    result = once(run_quench_experiment, publishes=100)
+    print()
+    print(f"  quench off: {result['quench_off']['datagrams_on_air']} "
+          f"datagrams on air")
+    print(f"  quench on:  {result['quench_on']['datagrams_on_air']} "
+          f"datagrams on air "
+          f"({result['quench_on']['publishes_suppressed']} suppressed)")
+    benchmark.extra_info.update({
+        "datagrams_off": result["quench_off"]["datagrams_on_air"],
+        "datagrams_on": result["quench_on"]["datagrams_on_air"],
+    })
+    # All 100 publishes suppressed at the source.
+    assert result["quench_on"]["publishes_suppressed"] == 100
+    assert result["quench_on"]["publishes_sent"] == 0
+    # An order of magnitude less radio traffic.
+    assert result["datagram_reduction_factor"] > 5.0
+
+
+def test_delivery_semantics_survive_loss(once, benchmark):
+    result = once(run_loss_sweep, loss_rates=(0.0, 0.05, 0.20), events=40)
+    print()
+    print(format_series_table(result, precision=1))
+    complete = result.notes["delivery_complete_in_order"]
+    benchmark.extra_info["complete_in_order"] = {
+        str(k): v for k, v in complete.items()}
+
+    # Exactly-once, in-order, complete at every loss rate.
+    assert all(complete.values()), complete
+    # Loss costs latency: 20% loss must be visibly slower than lossless.
+    series = result.series[0]
+    by_loss = {p.x: p.mean for p in series.points}
+    assert by_loss[0.20] > by_loss[0.0]

@@ -1,0 +1,40 @@
+"""A2 — wire codec micro-benchmarks (wall clock).
+
+Encode/decode cost for events of varying payload size, and packet
+framing/checksum cost.  The codec sits on every hop of the bus, so its
+cost is part of every figure; this bench keeps it visible in isolation.
+"""
+
+import pytest
+
+from repro.core.events import Event, decode_event, encode_event
+from repro.ids import service_id_from_name
+from repro.transport.packets import Packet, PacketType
+
+SENDER = service_id_from_name("bench")
+
+
+@pytest.mark.parametrize("size", [0, 500, 2000, 5000])
+def test_event_roundtrip(benchmark, size):
+    event = Event("bench.payload", {"data": b"x" * size, "seq": 42},
+                  SENDER, 7, 1.25)
+
+    def roundtrip():
+        decoded, _ = decode_event(encode_event(event))
+        return decoded
+
+    decoded = benchmark(roundtrip)
+    assert decoded == event
+
+
+@pytest.mark.parametrize("size", [0, 1400, 5000])
+def test_packet_roundtrip(benchmark, size):
+    packet = Packet(type=PacketType.DATA, sender=SENDER, seq=9, ack=3,
+                    payload=b"y" * size)
+
+    def roundtrip():
+        return Packet.decode(packet.encode())
+
+    decoded = benchmark(roundtrip)
+    assert decoded.payload == packet.payload
+    assert decoded.seq == packet.seq

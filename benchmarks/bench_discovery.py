@@ -1,0 +1,41 @@
+"""A6 — discovery timing: admission latency and purge behaviour.
+
+Section VI: scenarios "such as maximum timeouts for the discovery service
+to allow silence from a device until a 'Purge Member' event is launched".
+Admission latency should track the beacon period (a device can only find
+the cell when it hears a beacon); purge latency should track the
+configured timeout, independent of beacon period.
+"""
+
+import math
+
+from repro.bench.experiments import run_discovery_timing
+from repro.bench.reporting import format_series_table
+
+BEACON_PERIODS = (0.25, 1.0, 2.0)
+PURGE_AFTER = 6.0
+
+
+def test_discovery_admission_and_purge(once, benchmark):
+    result = once(run_discovery_timing, beacon_periods=BEACON_PERIODS,
+                  purge_after_s=PURGE_AFTER)
+    print()
+    print(format_series_table(result, precision=2))
+    print(f"  purge latency after walking away: "
+          f"{result.notes['purge_latency_after_leave_s']}")
+
+    series = result.series[0]
+    admit = {p.x: p.mean for p in series.points}
+    benchmark.extra_info["admit_s"] = {str(k): round(v, 2)
+                                       for k, v in admit.items()}
+
+    # Admission happens within roughly one beacon period (plus protocol).
+    for period in BEACON_PERIODS:
+        assert not math.isnan(admit[period])
+        assert admit[period] < period + 1.0, (period, admit[period])
+    # Purge fires after the configured silence tolerance, not much later
+    # than timeout + one sweep + silence-detection slack.
+    for period, latency in result.notes["purge_latency_after_leave_s"].items():
+        assert not math.isnan(latency)
+        assert PURGE_AFTER - 1.0 < latency < PURGE_AFTER + 4.0, (period,
+                                                                 latency)

@@ -1,0 +1,29 @@
+"""A5 — response time vs number of recipients.
+
+Section VI plans "further investigation into event bus performance
+(variation in delays incurred depending on message size or number of
+recipients)".  With one stop-and-wait channel per subscriber and a serial
+CPU on the PDA, time-to-last-subscriber should grow with fan-out.
+"""
+
+from repro.bench.experiments import run_fanout
+from repro.bench.reporting import format_series_table
+
+SUBSCRIBER_COUNTS = (1, 2, 4)
+
+
+def test_fanout_response_time(once, benchmark):
+    result = once(run_fanout, subscriber_counts=SUBSCRIBER_COUNTS,
+                  payload_size=1000, samples=5)
+    print()
+    print(format_series_table(result))
+    series = result.series[0]
+    by_count = {int(p.x): p.mean for p in series.points}
+    benchmark.extra_info["ms_to_last_subscriber"] = {
+        k: round(v, 1) for k, v in by_count.items()}
+
+    values = [by_count[c] for c in SUBSCRIBER_COUNTS]
+    assert all(a < b for a, b in zip(values, values[1:])), values
+    # Serial per-subscriber sends: clearly growing, not constant (fixed
+    # per-event costs are shared, so growth is sublinear in fan-out).
+    assert by_count[4] > 1.5 * by_count[1]

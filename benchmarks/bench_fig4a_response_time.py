@@ -1,0 +1,43 @@
+"""E1 — Figure 4(a): response time vs payload size, both event buses.
+
+Regenerates the series of the paper's Figure 4(a) on the simulated
+PDA+laptop testbed.  The assertions encode the *shape* the paper reports:
+
+* response time rises with payload size for both buses;
+* the C-based (forwarding) bus is faster than the Siena-based bus;
+* the gap grows with payload (the translation cost is per byte).
+"""
+
+from repro.bench.experiments import run_fig4a
+from repro.bench.reporting import format_series_table
+
+PAYLOADS = (0, 1000, 2500, 5000)
+SAMPLES = 5
+
+
+def test_fig4a_response_time_curves(once, benchmark):
+    result = once(run_fig4a, payload_sizes=PAYLOADS, samples=SAMPLES)
+    print()
+    print(format_series_table(result))
+
+    siena = {p.x: p.mean for p in
+             result.series_by_label("Siena-based event bus").points}
+    cbus = {p.x: p.mean for p in
+            result.series_by_label("C-based event bus").points}
+    benchmark.extra_info["siena_ms"] = {int(k): round(v, 1)
+                                        for k, v in siena.items()}
+    benchmark.extra_info["cbus_ms"] = {int(k): round(v, 1)
+                                       for k, v in cbus.items()}
+
+    # Monotonic rise with payload.
+    for series in (siena, cbus):
+        values = [series[p] for p in PAYLOADS]
+        assert all(a < b for a, b in zip(values, values[1:])), values
+    # The C bus wins at every size, and by a growing margin.
+    for payload in PAYLOADS:
+        assert cbus[payload] <= siena[payload]
+    gaps = [siena[p] - cbus[p] for p in PAYLOADS]
+    assert gaps[-1] > gaps[0], gaps
+    # Rough magnitudes of the paper's figure: hundreds of ms at 5000 B.
+    assert 150.0 < cbus[5000] < 450.0
+    assert 300.0 < siena[5000] < 600.0

@@ -1,0 +1,44 @@
+"""E2/E5 — Figure 4(b): throughput vs payload size, both event buses.
+
+Shape assertions from the paper:
+
+* throughput grows with payload size (fixed per-event costs amortise);
+* the C-based bus sustains more than the Siena-based bus (E5: the gain is
+  attributed to dropping data translation);
+* both sit far below the raw link's ~575 KB/s (per-event overheads).
+"""
+
+from repro.bench.experiments import run_fig4b
+from repro.bench.reporting import format_series_table
+
+PAYLOADS = (0, 500, 1500, 3000)
+
+
+def test_fig4b_throughput_curves(once, benchmark):
+    result = once(run_fig4b, payload_sizes=PAYLOADS, duration_s=15.0)
+    print()
+    print(format_series_table(result))
+
+    siena = {p.x: p.mean for p in
+             result.series_by_label("Siena-based event bus").points}
+    cbus = {p.x: p.mean for p in
+            result.series_by_label("C-based event bus").points}
+    benchmark.extra_info["siena_kb_s"] = {int(k): round(v, 1)
+                                          for k, v in siena.items()}
+    benchmark.extra_info["cbus_kb_s"] = {int(k): round(v, 1)
+                                         for k, v in cbus.items()}
+
+    nonzero = [p for p in PAYLOADS if p > 0]
+    # Rising with payload.
+    for series in (siena, cbus):
+        values = [series[p] for p in nonzero]
+        assert all(a < b for a, b in zip(values, values[1:])), values
+    # C bus above Siena bus at every payload.
+    for payload in nonzero:
+        assert cbus[payload] > siena[payload]
+    # Far below the raw link (paper: ~575 KB/s vs <= ~20 KB/s).
+    assert cbus[3000] < 40.0
+    assert siena[3000] < 30.0
+    # And within the magnitude band the paper plots (0-22 KB/s axis).
+    assert 5.0 < cbus[3000] < 25.0
+    assert 4.0 < siena[3000] < 20.0

@@ -1,0 +1,27 @@
+"""E3/E4 — the paper's in-text link measurements.
+
+"The latency on the link is 1.5ms on average (0.6ms minimum, 2.3ms maximum
+taken over the link for 1 minute)" and "the link can sustain a throughput
+of approximately 575KB/s when simply transferring data from one host to
+another."
+"""
+
+from repro.bench.experiments import run_link_baseline
+
+
+def test_link_latency_and_raw_throughput(once, benchmark):
+    result = once(run_link_baseline)
+    print()
+    print(f"  latency: mean {result['latency_ms_mean']:.2f} ms "
+          f"(min {result['latency_ms_min']:.2f}, "
+          f"max {result['latency_ms_max']:.2f})  "
+          f"bulk: {result['bulk_throughput_kb_s']:.1f} KB/s")
+    benchmark.extra_info.update(
+        {k: round(v, 3) for k, v in result.items() if isinstance(v, float)})
+
+    # E3: 1.5 ms average within a 0.6-2.3 ms band.
+    assert 1.3 < result["latency_ms_mean"] < 1.7
+    assert 0.55 < result["latency_ms_min"] < 0.8
+    assert 2.0 < result["latency_ms_max"] < 2.4
+    # E4: ~575 KB/s raw transfer.
+    assert 520.0 < result["bulk_throughput_kb_s"] < 630.0

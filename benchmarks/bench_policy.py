@@ -1,0 +1,53 @@
+"""A7 — policy engine micro-benchmark (wall clock).
+
+Obligation evaluations per second as the policy count grows.  Each policy
+is one bus subscription, so this also exercises the matcher with the
+filter shapes real policies produce.
+"""
+
+import pytest
+
+from repro import EventBus, Simulator
+from repro.matching.engine import make_engine
+from repro.policy import PolicyEngine, parse_policies
+
+
+def build_policy_source(count: int) -> str:
+    parts = ["role nurse : nurse.pda ;"]
+    for index in range(count):
+        parts.append(f"""
+inst oblig Rule{index} {{
+    on health.hr ;
+    if hr > {60 + (index % 100)} and patient = "p-{index % 10}" ;
+    do log(rule={index}) ;
+    subject monitor ;
+    target nurse ;
+}}""")
+    return "\n".join(parts)
+
+
+@pytest.mark.parametrize("policy_count", [10, 100, 400])
+def test_policy_evaluation_rate(benchmark, policy_count):
+    sim = Simulator()
+    bus = EventBus(sim, make_engine("forwarding"))
+    engine = PolicyEngine(bus)
+    fired = []
+    engine.executor.register_handler("log",
+                                     lambda target, params: fired.append(params))
+    engine.load(parse_policies(build_policy_source(policy_count)))
+    publisher = bus.local_publisher("hr")
+
+    counter = [0]
+
+    def run():
+        counter[0] += 1
+        for index in range(50):
+            publisher.publish("health.hr",
+                              {"hr": 60 + (index % 120),
+                               "patient": f"p-{index % 10}"})
+        sim.run_until_idle()
+
+    benchmark(run)
+    benchmark.extra_info["actions_fired"] = len(fired)
+    assert engine.stats.events_evaluated > 0
+    assert fired, "at least some rules must have fired"

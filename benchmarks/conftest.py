@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark suite.
+
+Simulation experiments run in virtual time and are deterministic, so each
+is executed once per benchmark (``rounds=1``) — the wall-clock number
+pytest-benchmark reports is the cost of *running the simulation*, while
+the reproduced figure values land in ``extra_info`` (and are printed when
+run with ``-s``).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a deterministic experiment exactly once under the benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

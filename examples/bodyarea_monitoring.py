@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario: a body-area network Self-Managed Cell.
+
+A patient's PDA runs the SMC core (event bus + discovery + policy).  Body
+sensors, a drug pump and the nurse's display join over simulated Bluetooth
+as they come in range.  Policies deployed on the PDA:
+
+* tachycardia  -> notify the nurse and raise the sensor's alarm threshold;
+* desaturation -> notify the nurse;
+* pump safety  -> an ``auth-`` policy forbids sensors from commanding the
+  pump directly; only the cell's clinician role may dose.
+
+The nurse then walks out of radio range for a short while (the paper's
+transient-disconnection scenario) — her proxy and queued events survive —
+and finally the heart-rate sensor's battery dies and it is purged.
+
+Run:  python examples/bodyarea_monitoring.py
+"""
+
+from repro import Filter, Simulator
+from repro.devices import (
+    DrugPump,
+    HeartRateSensor,
+    NurseDisplay,
+    SpO2Sensor,
+    TemperatureSensor,
+    VitalSignsGenerator,
+)
+from repro.devices.waveforms import desaturation, tachycardia
+from repro.sim import (
+    BLUETOOTH,
+    PDA_PROFILE,
+    SENSOR_PROFILE,
+    RngRegistry,
+    SimHost,
+    SimNetwork,
+    WalkAway,
+)
+from repro.smc import CellConfig, SelfManagedCell
+from repro.transport.endpoint import PacketEndpoint
+from repro.transport.simnet import SimTransport
+
+POLICIES = """
+// roles are filled by device types
+role nurse    : actuator.display ;
+role pump     : actuator.pump ;
+role monitor  : sensor.hr, sensor.spo2, sensor.temp ;
+
+inst oblig Tachycardia {
+    on health.hr ;
+    if hr > 125 ;
+    do notify(msg="tachycardia", hr=$hr, target=nurse)
+       -> set_threshold(value=140, target=monitor)
+       -> log(what="hr-alarm", hr=$hr) ;
+    subject monitor ;
+    target nurse ;
+}
+
+inst oblig Desaturation {
+    on health.spo2 ;
+    if spo2 < 90 ;
+    do notify(msg="SpO2 low", spo2=$spo2, target=nurse)
+       -> log(what="spo2-alarm", spo2=$spo2) ;
+    subject monitor ;
+    target nurse ;
+}
+
+// the monitor role may alert the nurse, but may never drive the pump
+auth+ MonitorsAlert { subject monitor ; target nurse ; action notify, set_threshold, log ; }
+auth- NoSensorDosing { subject monitor ; target pump ; action * ; }
+"""
+
+
+def main() -> None:
+    sim = Simulator()
+    rng = RngRegistry(2006)
+    network = SimNetwork(sim, rng)
+    ban = network.add_medium("bluetooth", BLUETOOTH)
+
+    def endpoint(name, position=(0.0, 0.0), profile=SENSOR_PROFILE):
+        network.attach(name, SimHost(sim, profile, name), ban, position)
+        return PacketEndpoint(SimTransport(network, name), sim)
+
+    # The SMC core on the patient's PDA.
+    network.attach("pda", SimHost(sim, PDA_PROFILE, "pda"), ban, (0.0, 0.0))
+    cell = SelfManagedCell(SimTransport(network, "pda"), sim,
+                           CellConfig(cell_name="patient-17",
+                                      patient="p-17",
+                                      purge_after_s=20.0))
+    cell.load_policies(POLICIES)
+
+    # The patient: tachycardia at t=40s, desaturation at t=120s.
+    vitals = VitalSignsGenerator(rng, patient="p-17", episodes=[
+        tachycardia(start_s=40.0, duration_s=30.0, peak_bpm=160.0),
+        desaturation(start_s=120.0, duration_s=40.0, trough_percent=85.0),
+    ])
+
+    # On-body devices.
+    hr = HeartRateSensor(endpoint("hr-1"), sim, "hr-1", vitals,
+                         period_s=1.0, threshold_bpm=125.0)
+    spo2 = SpO2Sensor(endpoint("spo2-1"), sim, "spo2-1", vitals, period_s=2.0)
+    temp = TemperatureSensor(endpoint("temp-1"), sim, "temp-1", vitals,
+                             period_s=10.0)     # unacknowledged, like the paper
+    pump = DrugPump(endpoint("pump-1"), sim, "pump-1", "p-17")
+
+    # The nurse, who walks out of range between t=70 and t=85 (masked: the
+    # purge timeout is 20s, so her membership survives the absence).
+    nurse_walk = WalkAway(t_leave=70.0, t_return=85.0, distance=50.0)
+    display = NurseDisplay(endpoint("nurse-pda", position=nurse_walk), sim,
+                           "nurse-pda")
+
+    # A visible timeline of membership and alarms.
+    timeline = []
+    cell.subscribe(Filter.for_type_prefix("smc.member"), lambda e: timeline
+                   .append((sim.now(), e.type, e.get("name"), e.get("reason"))))
+
+    for device in (hr, spo2, temp, pump, display):
+        device.start()
+    cell.start()
+
+    sim.run(150.0)
+    # Battery death: the heart-rate sensor vanishes without a LEAVE.
+    network.set_node_up("hr-1", False)
+    sim.run(220.0)
+
+    print("== membership timeline ==")
+    for moment, etype, name, reason in timeline:
+        detail = f" ({reason})" if reason else ""
+        print(f"  t={moment:7.2f}s  {etype:22s} {name}{detail}")
+
+    print("\n== nurse display ==")
+    for moment, message in display.messages[:8]:
+        print(f"  t={moment:7.2f}s  {message}")
+    if len(display.messages) > 8:
+        print(f"  ... {len(display.messages) - 8} more")
+
+    print("\n== cell log (policy actions) ==")
+    for moment, target, params in cell.log[:6]:
+        print(f"  t={moment:7.2f}s  -> {target}: {params}")
+    if len(cell.log) > 6:
+        print(f"  ... {len(cell.log) - 6} more")
+
+    print(f"\nbus: {cell.bus.stats}")
+    print(f"members at end: {cell.member_names()}")
+    assert "hr-1" not in cell.member_names(), "dead sensor should be purged"
+    assert display.messages, "nurse should have been notified"
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""SMC federation: a clinic cell importing alarms from patient cells.
+
+Two patients each run their own Self-Managed Cell on their PDA.  The
+clinic's cell peers with both: a federation link joins each patient cell
+as an ordinary member (device type ``smc.peer``) and imports only alarm
+streams — covering-based aggregation first reduces the import filter set.
+Loop suppression and duplicate elimination come from the federation
+metadata stamped on every imported event.
+
+Run:  python examples/federation.py
+"""
+
+from repro import Filter, Simulator
+from repro.devices.actuators import ManualSensor
+from repro.devices.protocols import HeartRateProtocol
+from repro.sim import (
+    LAPTOP_PROFILE,
+    PDA_PROFILE,
+    SENSOR_PROFILE,
+    RngRegistry,
+    SimHost,
+    SimNetwork,
+    WIFI_11B,
+)
+from repro.smc import CellConfig, FederationLink, SelfManagedCell, aggregate_filters
+from repro.transport.endpoint import PacketEndpoint
+from repro.transport.simnet import SimTransport
+
+
+def main() -> None:
+    sim = Simulator()
+    network = SimNetwork(sim, RngRegistry(42))
+    wifi = network.add_medium("wifi", WIFI_11B)
+
+    def endpoint(name, profile=SENSOR_PROFILE):
+        network.attach(name, SimHost(sim, profile, name), wifi, (0.0, 0.0))
+        return PacketEndpoint(SimTransport(network, name), sim)
+
+    # Three cells: two patients, one clinic.
+    cells = {}
+    for node, cell_name, profile in (("pda-1", "patient-1", PDA_PROFILE),
+                                     ("pda-2", "patient-2", PDA_PROFILE),
+                                     ("clinic-pc", "clinic", LAPTOP_PROFILE)):
+        network.attach(node, SimHost(sim, profile, node), wifi, (0.0, 0.0))
+        cells[cell_name] = SelfManagedCell(
+            SimTransport(network, node), sim,
+            CellConfig(cell_name=cell_name, patient=cell_name))
+
+    # The clinic wants only alarms.  Note the aggregation: the broad
+    # "health." prefix filter covers the specific hr filter, so only one
+    # subscription is actually sent to each patient cell.
+    imports = [Filter.where("health.hr", alarm=True),
+               Filter([*Filter.for_type_prefix("health.").constraints,
+                       *Filter.where(None, alarm=True).constraints])]
+    print(f"import filters: {len(imports)} -> "
+          f"{len(aggregate_filters(imports))} after covering aggregation")
+
+    links = []
+    for patient in ("patient-1", "patient-2"):
+        link = FederationLink(
+            cells["clinic"], endpoint(f"clinic-link-{patient}"), sim,
+            imports, link_name=f"clinic-link-{patient}",
+            peer_cell_name=patient)
+        links.append(link)
+
+    # Clinic-side dashboard.
+    dashboard = []
+    cells["clinic"].subscribe(
+        Filter.for_type_prefix("health."),
+        lambda e: dashboard.append(
+            (sim.now(), e.get("fed.path"), e.type, e.get("hr"))))
+
+    # One heart-rate sensor per patient cell.
+    sensors = {}
+    for patient in ("patient-1", "patient-2"):
+        sensor = ManualSensor(endpoint(f"hr-{patient}"), sim,
+                              f"hr-{patient}", "sensor.hr",
+                              target_cell=patient)
+        sensors[patient] = sensor
+        sensor.start()
+
+    for cell in cells.values():
+        cell.start()
+    for link in links:
+        link.start()
+    sim.run(5.0)
+    assert all(link.connected for link in links)
+
+    # Patient 1: normal reading (not imported), then an alarm (imported).
+    proto1 = HeartRateProtocol("patient-1")
+    sensors["patient-1"].send_reading(proto1.encode_reading(82.0, alarm=False))
+    sensors["patient-1"].send_reading(proto1.encode_reading(151.0, alarm=True))
+    # Patient 2: alarm.
+    proto2 = HeartRateProtocol("patient-2")
+    sensors["patient-2"].send_reading(proto2.encode_reading(143.0, alarm=True))
+    sim.run(15.0)
+
+    print("\n== clinic dashboard ==")
+    for moment, path, etype, hr in dashboard:
+        print(f"  t={moment:6.2f}s  via {path:22s} {etype}  hr={hr}")
+
+    alarms = [entry for entry in dashboard if entry[3] and entry[3] > 120]
+    assert len(alarms) == 2, dashboard
+    # The normal reading stayed in its own cell.
+    assert not any(hr == 82.0 for *_rest, hr in dashboard)
+    print("\nfederation stats:")
+    for link in links:
+        print(f"  {link.peer_cell_name}: {link.stats}")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Home monitoring for an elderly patient (paper Section I).
+
+"On-body and environmental sensors may also be used in the home for
+monitoring elderly patients to determine problem situations or
+deterioration of well-being over time."
+
+This scenario mixes both kinds of device:
+
+* a raw-protocol body temperature sensor (fever detection over hours);
+* *smart* environmental devices built on the BusClient API — a motion
+  sensor and a door sensor that publish typed events themselves;
+* an inactivity policy: if the front door opened but no motion follows,
+  notify the carer;
+* a deterioration policy: a slow fever trend raises a well-being flag.
+
+Run:  python examples/home_monitoring.py
+"""
+
+from repro import Filter, Simulator
+from repro.core.client import BusClient
+from repro.devices import NurseDisplay, TemperatureSensor, VitalSignsGenerator
+from repro.devices.base import SmartDevice
+from repro.devices.waveforms import fever
+from repro.discovery.agent import AgentConfig
+from repro.sim import (
+    PDA_PROFILE,
+    SENSOR_PROFILE,
+    RngRegistry,
+    SimHost,
+    SimNetwork,
+    WIFI_11B,
+)
+from repro.smc import CellConfig, SelfManagedCell
+from repro.transport.endpoint import PacketEndpoint
+from repro.transport.simnet import SimTransport
+
+# The standard display translator obeys commands targeted at the "nurse"
+# role (repro.devices.protocols.standard_translators), so the carer's
+# display fills that role here.
+POLICIES = """
+role nurse   : actuator.display ;
+role home    : home.motion, home.door ;
+role monitor : sensor.temp ;
+
+inst oblig DoorWithoutReturn {
+    on home.door ;
+    if state = "opened" and hour >= 22 ;
+    do notify(msg="front door opened late", target=nurse)
+       -> log(what="door-late") ;
+    subject home ;
+    target nurse ;
+}
+
+inst oblig FeverTrend {
+    on health.temp ;
+    if celsius >= 38.5 ;
+    do notify(msg="fever", celsius=$celsius, target=nurse)
+       -> log(what="fever", celsius=$celsius) ;
+    subject monitor ;
+    target nurse ;
+}
+
+inst oblig Inactivity {
+    on home.inactivity ;
+    do notify(msg="no movement for a while", minutes=$minutes, target=nurse)
+       -> log(what="inactivity", minutes=$minutes) ;
+    subject home ;
+    target nurse ;
+}
+"""
+
+
+class MotionSensor(SmartDevice):
+    """Publishes motion events; raises an inactivity event after silence.
+
+    A smart device: it owns a BusClient, builds typed events itself, and
+    carries enough logic to summarise its own silence — the "complex
+    sensor behind a simple proxy" end of the paper's spectrum.
+    """
+
+    def __init__(self, endpoint, scheduler, name, *, inactivity_after_s):
+        super().__init__(endpoint, scheduler,
+                         AgentConfig(name=name, device_type="home.motion"))
+        self.inactivity_after_s = inactivity_after_s
+        self._last_motion = scheduler.now()
+        self._watch = None
+
+    def on_connected(self, client: BusClient, *, rejoined: bool) -> None:
+        if self._watch is None:
+            self._watch = self.scheduler.every(self.inactivity_after_s / 4,
+                                               self._check)
+
+    def motion(self) -> None:
+        """Called by the scenario when the patient moves."""
+        self._last_motion = self.scheduler.now()
+        if self.client.bus_address is not None:
+            self.client.publish("home.motion", {"zone": "living-room"})
+
+    def _check(self) -> None:
+        quiet = self.scheduler.now() - self._last_motion
+        if quiet >= self.inactivity_after_s and self.client.bus_address:
+            self.client.publish("home.inactivity",
+                                {"minutes": round(quiet / 60.0, 1)})
+            self._last_motion = self.scheduler.now()    # rearm
+
+
+class DoorSensor(SmartDevice):
+    def __init__(self, endpoint, scheduler, name):
+        super().__init__(endpoint, scheduler,
+                         AgentConfig(name=name, device_type="home.door"))
+
+    def door(self, state: str, hour: int) -> None:
+        if self.client.bus_address is not None:
+            self.client.publish("home.door", {"state": state, "hour": hour})
+
+
+def main() -> None:
+    sim = Simulator()
+    rng = RngRegistry(7)
+    network = SimNetwork(sim, rng)
+    wifi = network.add_medium("wifi", WIFI_11B)
+
+    def endpoint(name, profile=SENSOR_PROFILE):
+        network.attach(name, SimHost(sim, profile, name), wifi, (0.0, 0.0))
+        return PacketEndpoint(SimTransport(network, name), sim)
+
+    network.attach("hub", SimHost(sim, PDA_PROFILE, "hub"), wifi, (0.0, 0.0))
+    cell = SelfManagedCell(SimTransport(network, "hub"), sim,
+                           CellConfig(cell_name="home-7", patient="elder-7"))
+    cell.load_policies(POLICIES)
+
+    vitals = VitalSignsGenerator(rng, patient="elder-7", episodes=[
+        fever(start_s=300.0, duration_s=1200.0, peak_celsius=39.4),
+    ])
+    temp = TemperatureSensor(endpoint("temp-1"), sim, "temp-1", vitals,
+                             period_s=60.0)
+    motion = MotionSensor(endpoint("motion-1"), sim, "motion-1",
+                          inactivity_after_s=600.0)
+    door = DoorSensor(endpoint("door-1"), sim, "door-1")
+    carer = NurseDisplay(endpoint("carer-pda"), sim, "carer-pda")
+
+    for device in (temp, motion, door, carer):
+        device.start()
+    cell.start()
+
+    # Scripted day: regular motion for 5 minutes, then the patient sits
+    # still (inactivity fires), a late door opening, then the fever peaks.
+    for minute in range(5):
+        sim.call_later(60.0 * minute + 30.0, motion.motion)
+    sim.call_later(900.0, door.door, "opened", 23)
+    sim.run(1500.0)
+
+    print("== carer display ==")
+    for moment, message in carer.messages[:6]:
+        print(f"  t={moment:8.1f}s  {message}")
+    if len(carer.messages) > 6:
+        print(f"  ... {len(carer.messages) - 6} more")
+    print("\n== cell log ==")
+    seen_kinds = set()
+    for moment, target, params in cell.log:
+        kind = params.get("what")
+        if kind not in seen_kinds:
+            seen_kinds.add(kind)
+            print(f"  first {kind!r:14} at t={moment:8.1f}s  {params}")
+    print(f"\nmembers: {cell.member_names()}")
+    assert {"inactivity", "door-late", "fever"} <= seen_kinds, seen_kinds
+    assert carer.messages, "the carer's display should have received alerts"
+
+if __name__ == "__main__":
+    main()

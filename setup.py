@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The offline environment has setuptools but no ``wheel`` package, so PEP 660
+editable installs (which build an editable wheel) fail; this shim keeps
+``python setup.py develop`` and legacy ``pip install -e .`` working.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro — reproduction of the AMUSE Self-Managed Cell event service.
+
+An event system for autonomic management of ubiquitous e-health systems
+(Strowes, Badr, Dulay, Heeps, Lupu, Sloman & Sventek, ICDCS Workshops
+2006), built from scratch in Python: the event bus and its delivery
+semantics, both generations of content-based matching engine, the proxy
+framework, discovery and policy services, a simulated wireless testbed,
+and the benchmark harness that regenerates the paper's evaluation.
+
+Quickstart::
+
+    from repro import Simulator, EventBus, Filter
+
+    sim = Simulator()
+    bus = EventBus(sim)
+    bus.subscribe_local(Filter.where("health.hr", hr=(">", 120)),
+                        lambda e: print("alarm:", dict(e.attributes)))
+    nurse = bus.local_publisher("hr-monitor")
+    nurse.publish("health.hr", {"hr": 135, "patient": "p-17"})
+    sim.run_until_idle()
+
+See ``examples/`` for full Self-Managed Cell scenarios.
+"""
+
+from repro.core.bus import BusStats, EventBus, LocalPublisher
+from repro.core.client import BusClient
+from repro.core.events import (
+    NEW_MEMBER_TYPE,
+    PURGE_MEMBER_TYPE,
+    Event,
+    decode_event,
+    encode_event,
+)
+from repro.core.quench import QuenchController
+from repro.errors import ReproError
+from repro.ids import ServiceId, service_id_from_name, service_id_from_socket
+from repro.matching.engine import MatchingEngine, make_engine
+from repro.matching.filters import Constraint, Filter, Op, Subscription
+from repro.sim.kernel import RealtimeScheduler, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ServiceId",
+    "service_id_from_name",
+    "service_id_from_socket",
+    "Simulator",
+    "RealtimeScheduler",
+    "Event",
+    "encode_event",
+    "decode_event",
+    "NEW_MEMBER_TYPE",
+    "PURGE_MEMBER_TYPE",
+    "EventBus",
+    "BusStats",
+    "LocalPublisher",
+    "BusClient",
+    "QuenchController",
+    "Op",
+    "Constraint",
+    "Filter",
+    "Subscription",
+    "MatchingEngine",
+    "make_engine",
+]

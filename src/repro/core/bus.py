@@ -1,0 +1,292 @@
+"""The event bus.
+
+"The event bus is required to forward events from services in an SMC onto
+any interested parties within the SMC which have subscribed to receive the
+event" (Section II-C).  This class is the semantics layer the paper builds
+*around* its pub/sub mechanism:
+
+* **matching** is delegated to a pluggable
+  :class:`~repro.matching.engine.MatchingEngine` (Siena-based or
+  forwarding-based, exactly the two generations the paper built);
+* **exactly-once-while-member**: per-sender sequence-number watermarks
+  drop duplicates; watermarks are erased when a member is purged, so a
+  re-admitted device starts a fresh delivery session;
+* **per-sender FIFO**: publications arrive in order per sender (the
+  reliable channel guarantees it), are matched in arrival order, and are
+  dispatched through per-subscriber FIFO paths (a proxy's outbound channel,
+  or the scheduler's FIFO for local subscribers);
+* **per-component delivery**: a subscriber with several overlapping
+  subscriptions still receives each event once ("all events are delivered
+  to each interested component exactly once");
+* **membership coupling**: proxies register per member; purging a member
+  tears down its subscriptions, its proxy and its queued events.
+
+Services co-located with the bus (the policy and discovery services) use
+the local API (:meth:`subscribe_local` / :class:`LocalPublisher`); remote
+services reach the same code path through their proxies.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.errors import (
+    BusError,
+    DuplicateMemberError,
+    NotAMemberError,
+    SubscriptionNotFoundError,
+)
+from repro.ids import ServiceId, service_id_from_name
+from repro.matching.engine import MatchingEngine
+from repro.matching.filters import Filter, Subscription
+from repro.matching.forwarding import ForwardingMatcher
+from repro.sim.hosts import CostMeter, NullCostMeter
+from repro.sim.kernel import Scheduler
+from repro.transport.wire import Value
+
+from repro.core.events import Event
+
+if TYPE_CHECKING:                                    # pragma: no cover
+    from repro.core.proxy import Proxy
+    from repro.core.quench import QuenchController
+
+LocalCallback = Callable[[Event], None]
+
+
+@dataclass
+class BusStats:
+    """Counters the bus maintains (benchmarks and tests read these)."""
+
+    published: int = 0
+    matched: int = 0
+    delivered_local: int = 0
+    delivered_remote: int = 0
+    duplicates_dropped: int = 0
+    unmatched: int = 0
+    from_unknown_member: int = 0
+    subscriptions_active: int = 0
+    members_active: int = 0
+    purged_members: int = field(default=0, repr=False)
+
+
+class LocalPublisher:
+    """A co-located service's publishing handle.
+
+    Owns a service id and a monotonically increasing sequence counter, so
+    events from in-process services carry the same ordering/dedup metadata
+    as events from remote devices.
+    """
+
+    def __init__(self, bus: "EventBus", sender: ServiceId) -> None:
+        self._bus = bus
+        self._sender = sender
+        self._next_seqno = itertools.count(1)
+
+    @property
+    def sender(self) -> ServiceId:
+        return self._sender
+
+    def publish(self, event_type: str, attributes: dict[str, Value]
+                | None = None) -> Event:
+        """Build, stamp and publish an event; returns it."""
+        event = Event(event_type, attributes or {}, self._sender,
+                      next(self._next_seqno), self._bus.scheduler.now())
+        self._bus.publish(event)
+        return event
+
+
+class EventBus:
+    """The SMC's central event service."""
+
+    def __init__(self, scheduler: Scheduler,
+                 engine: MatchingEngine | None = None,
+                 *, name: str = "event-bus") -> None:
+        self.scheduler = scheduler
+        self.name = name
+        self.service_id = service_id_from_name(name)
+        self.engine = engine if engine is not None else ForwardingMatcher()
+        #: Cost meter for the bus software's own payload copies (simulation
+        #: charges them to the core host's CPU; see repro.sim.hosts).
+        self.meter: CostMeter = NullCostMeter()
+        self.stats = BusStats()
+        self.quench: "QuenchController | None" = None
+
+        self._local_publishers: dict[str, LocalPublisher] = {}
+        self._local_callbacks: dict[int, LocalCallback] = {}
+        # sub id -> owner: None for local, member ServiceId for proxied.
+        self._sub_owner: dict[int, ServiceId | None] = {}
+        self._member_subs: dict[ServiceId, set[int]] = {}
+        self._proxies: dict[ServiceId, "Proxy"] = {}
+        self._watermarks: dict[ServiceId, int] = {}
+        self._next_sub_id = itertools.count(1)
+
+    # -- local services ----------------------------------------------------
+
+    def local_publisher(self, service_name: str) -> LocalPublisher:
+        """Publishing handle for a co-located service.
+
+        Handles are cached by name: the same name always returns the same
+        publisher, so its sequence counter — which drives duplicate
+        suppression — survives repeated lookups.
+        """
+        publisher = self._local_publishers.get(service_name)
+        if publisher is None:
+            publisher = LocalPublisher(self, service_id_from_name(service_name))
+            self._local_publishers[service_name] = publisher
+        return publisher
+
+    def subscribe_local(self, filters: Filter | Iterable[Filter],
+                        callback: LocalCallback) -> int:
+        """Subscribe an in-process callback; returns the subscription id."""
+        if isinstance(filters, Filter):
+            filters = [filters]
+        sub_id = next(self._next_sub_id)
+        subscription = Subscription(sub_id, self.service_id, filters)
+        self.engine.subscribe(subscription)
+        self._local_callbacks[sub_id] = callback
+        self._sub_owner[sub_id] = None
+        self.stats.subscriptions_active = len(self.engine)
+        self._notify_quench()
+        return sub_id
+
+    def unsubscribe_local(self, sub_id: int) -> None:
+        if sub_id not in self._sub_owner:
+            raise SubscriptionNotFoundError(f"no subscription with id {sub_id}")
+        if self._sub_owner[sub_id] is not None:
+            raise BusError(f"subscription {sub_id} is not a local subscription")
+        self.engine.unsubscribe(sub_id)
+        del self._local_callbacks[sub_id]
+        del self._sub_owner[sub_id]
+        self.stats.subscriptions_active = len(self.engine)
+        self._notify_quench()
+
+    # -- membership / proxies ------------------------------------------------
+
+    def register_proxy(self, proxy: "Proxy") -> None:
+        """Attach a member's proxy.  One proxy per member id."""
+        member = proxy.member_id
+        if member in self._proxies:
+            raise DuplicateMemberError(f"member {member} already has a proxy")
+        self._proxies[member] = proxy
+        self._member_subs.setdefault(member, set())
+        self.stats.members_active = len(self._proxies)
+
+    def proxy_of(self, member: ServiceId) -> "Proxy":
+        try:
+            return self._proxies[member]
+        except KeyError:
+            raise NotAMemberError(f"no proxy for member {member}") from None
+
+    def is_member(self, member: ServiceId) -> bool:
+        return member in self._proxies
+
+    def members(self) -> list[ServiceId]:
+        return sorted(self._proxies)
+
+    def unregister_member(self, member: ServiceId) -> None:
+        """Tear down a member: subscriptions, dedup state and proxy record.
+
+        Called by the member's proxy as it destroys itself on a Purge
+        Member event.  Erasing the watermark is what scopes exactly-once
+        delivery to one membership session.
+        """
+        self._proxies.pop(member, None)
+        for sub_id in self._member_subs.pop(member, set()):
+            self.engine.unsubscribe(sub_id)
+            del self._sub_owner[sub_id]
+        self._watermarks.pop(member, None)
+        self.stats.members_active = len(self._proxies)
+        self.stats.subscriptions_active = len(self.engine)
+        self.stats.purged_members += 1
+        self._notify_quench()
+
+    # -- member subscriptions (called by proxies) --------------------------
+
+    def subscribe_member(self, member: ServiceId,
+                         filters: Iterable[Filter]) -> int:
+        """Register a subscription on behalf of a member; returns bus id."""
+        if member not in self._proxies:
+            raise NotAMemberError(f"{member} is not an SMC member")
+        sub_id = next(self._next_sub_id)
+        subscription = Subscription(sub_id, member, list(filters))
+        self.engine.subscribe(subscription)
+        self._sub_owner[sub_id] = member
+        self._member_subs[member].add(sub_id)
+        self.stats.subscriptions_active = len(self.engine)
+        self._notify_quench()
+        return sub_id
+
+    def unsubscribe_member(self, member: ServiceId, sub_id: int) -> None:
+        if self._sub_owner.get(sub_id) != member:
+            raise BusError(
+                f"subscription {sub_id} is not owned by member {member}")
+        self.engine.unsubscribe(sub_id)
+        del self._sub_owner[sub_id]
+        self._member_subs[member].discard(sub_id)
+        self.stats.subscriptions_active = len(self.engine)
+        self._notify_quench()
+
+    def subscriptions_of(self, member: ServiceId) -> set[int]:
+        return set(self._member_subs.get(member, set()))
+
+    # -- publication ----------------------------------------------------------
+
+    def publish(self, event: Event) -> bool:
+        """Match and dispatch one event.
+
+        Returns True if the event was fresh (not a duplicate).  Publications
+        must arrive in per-sender seqno order — both the reliable channel
+        and LocalPublisher guarantee this — so a single high-watermark per
+        sender implements duplicate suppression.
+        """
+        watermark = self._watermarks.get(event.sender, 0)
+        if event.seqno <= watermark:
+            self.stats.duplicates_dropped += 1
+            return False
+        self._watermarks[event.sender] = event.seqno
+        self.stats.published += 1
+
+        matched = self.engine.match(event.attrs_view())
+        if not matched:
+            self.stats.unmatched += 1
+            return True
+        self.stats.matched += 1
+
+        # Deliver once per interested *component*, not per subscription.
+        local_done = set()
+        remote_done = set()
+        for subscription in matched:
+            owner = self._sub_owner.get(subscription.sub_id)
+            if owner is None:
+                if subscription.sub_id in self._local_callbacks:
+                    if subscription.sub_id not in local_done:
+                        local_done.add(subscription.sub_id)
+                        callback = self._local_callbacks[subscription.sub_id]
+                        self.scheduler.call_soon(callback, event)
+                        self.stats.delivered_local += 1
+            elif owner not in remote_done:
+                remote_done.add(owner)
+                proxy = self._proxies.get(owner)
+                if proxy is not None:
+                    proxy.deliver(event)
+                    self.stats.delivered_remote += 1
+        return True
+
+    # -- quenching -----------------------------------------------------------
+
+    def attach_quench(self, controller: "QuenchController") -> None:
+        """Enable Elvin-style quenching (Section VI future work)."""
+        self.quench = controller
+
+    def _notify_quench(self) -> None:
+        if self.quench is not None:
+            self.quench.on_subscriptions_changed()
+
+    def all_subscriptions(self) -> list[Subscription]:
+        return self.engine.subscriptions()
+
+    def __repr__(self) -> str:
+        return (f"<EventBus {self.name} engine={self.engine.name} "
+                f"members={len(self._proxies)} subs={len(self.engine)}>")

@@ -1,0 +1,209 @@
+"""Client library for services that speak the bus protocol natively.
+
+A :class:`BusClient` is what the paper calls a "complex sensor" or a full
+service: it builds typed events itself, manages its own subscriptions, and
+talks to the SMC core over the reliable channel (through a
+:class:`~repro.core.proxies.ServiceProxy` on the bus side).
+
+The client implements the subscriber half of the delivery semantics:
+
+* a per-sender sequence watermark suppresses any duplicate the network
+  could manufacture (exactly-once toward the application);
+* delivered events are dispatched to every matching local callback, in
+  arrival order (per-sender FIFO end to end);
+* QUENCH advisories from the bus gate :meth:`publish`, implementing the
+  publisher side of quenching.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.errors import CodecError, SubscriptionNotFoundError, TransportError
+from repro.ids import ServiceId
+from repro.matching.filters import (
+    Filter,
+    Subscription,
+    encode_filter,
+    encode_subscription,
+)
+from repro.sim.hosts import INBOUND_COPIES, OUTBOUND_COPIES, CostMeter, NullCostMeter
+from repro.sim.kernel import Scheduler
+from repro.transport.base import Address
+from repro.transport.endpoint import PacketEndpoint
+from repro.transport.wire import Value
+
+from repro.core import protocol
+from repro.core.events import Event, decode_event, encode_event
+from repro.core.protocol import BusOp
+
+EventCallback = Callable[[Event], None]
+CommandCallback = Callable[[bytes], None]
+
+
+@dataclass
+class ClientStats:
+    published: int = 0
+    publishes_quenched: int = 0
+    publishes_disconnected: int = 0
+    delivered: int = 0
+    duplicates_dropped: int = 0
+    undispatched: int = 0
+    malformed: int = 0
+
+
+class BusClient:
+    """A remote service's handle on the SMC event bus."""
+
+    def __init__(self, endpoint: PacketEndpoint, scheduler: Scheduler,
+                 bus_address: Address | None,
+                 meter: CostMeter | None = None) -> None:
+        self.endpoint = endpoint
+        self.scheduler = scheduler
+        self.bus_address = bus_address
+        self.meter = meter if meter is not None else NullCostMeter()
+        self.stats = ClientStats()
+        self.quenched = False
+        #: Invoked with the new quench state whenever the bus changes it.
+        self.on_quench_change: Callable[[bool], None] | None = None
+        #: Invoked with raw DEVICE_CMD bytes (hybrid devices).
+        self.on_command: CommandCallback | None = None
+
+        self._next_seqno = itertools.count(1)
+        self._next_sub_id = itertools.count(1)
+        self._subscriptions: dict[int, tuple[tuple[Filter, ...], EventCallback]] = {}
+        self._watermarks: dict[ServiceId, int] = {}
+        endpoint.set_payload_handler(self._on_payload)
+
+    @property
+    def service_id(self) -> ServiceId:
+        return self.endpoint.service_id
+
+    # -- publishing ---------------------------------------------------------
+
+    def publish(self, event_type: str,
+                attributes: dict[str, Value] | None = None,
+                *, ignore_quench: bool = False) -> Event | None:
+        """Publish an event to the bus.
+
+        Returns the stamped event, or None when suppressed by quenching
+        (override with ``ignore_quench`` for must-send alarms).
+        """
+        if self.quenched and not ignore_quench:
+            self.stats.publishes_quenched += 1
+            return None
+        if self.bus_address is None:
+            self.stats.publishes_disconnected += 1
+            return None
+        event = Event(event_type, attributes or {}, self.service_id,
+                      next(self._next_seqno), self.scheduler.now())
+        payload = protocol.frame(BusOp.PUBLISH, encode_event(event))
+        self.meter.charge_copy(OUTBOUND_COPIES * len(payload))
+        self.endpoint.send_reliable(self.bus_address, payload)
+        self.stats.published += 1
+        return event
+
+    def advertise(self, filt: Filter) -> None:
+        """Declare what this service publishes (enables quenching)."""
+        self._require_connected()
+        self.endpoint.send_reliable(
+            self.bus_address, protocol.frame(BusOp.ADVERTISE,
+                                             encode_filter(filt)))
+
+    # -- subscribing ----------------------------------------------------------
+
+    def subscribe(self, filters: Filter | Iterable[Filter],
+                  callback: EventCallback) -> int:
+        """Register interest; returns a client-local subscription id."""
+        if isinstance(filters, Filter):
+            filters = [filters]
+        self._require_connected()
+        filter_tuple = tuple(filters)
+        sub_id = next(self._next_sub_id)
+        subscription = Subscription(sub_id, self.service_id, filter_tuple)
+        self.endpoint.send_reliable(
+            self.bus_address,
+            protocol.frame(BusOp.SUBSCRIBE, encode_subscription(subscription)))
+        self._subscriptions[sub_id] = (filter_tuple, callback)
+        return sub_id
+
+    def unsubscribe(self, sub_id: int) -> None:
+        if sub_id not in self._subscriptions:
+            raise SubscriptionNotFoundError(f"no subscription with id {sub_id}")
+        del self._subscriptions[sub_id]
+        if self.bus_address is not None:
+            self.endpoint.send_reliable(self.bus_address,
+                                        protocol.frame_unsubscribe(sub_id))
+
+    def subscription_count(self) -> int:
+        return len(self._subscriptions)
+
+    def resubscribe_all(self) -> None:
+        """Re-issue every live subscription (after a purge-and-rejoin)."""
+        self._require_connected()
+        for sub_id, (filter_tuple, _cb) in self._subscriptions.items():
+            subscription = Subscription(sub_id, self.service_id, filter_tuple)
+            self.endpoint.send_reliable(
+                self.bus_address,
+                protocol.frame(BusOp.SUBSCRIBE,
+                               encode_subscription(subscription)))
+
+    def _require_connected(self) -> None:
+        if self.bus_address is None:
+            raise TransportError("client is not connected to a cell")
+
+    # -- inbound ------------------------------------------------------------
+
+    def _on_payload(self, peer: ServiceId, payload: bytes) -> None:
+        try:
+            op, body = protocol.unframe(payload)
+        except CodecError:
+            self.stats.malformed += 1
+            return
+        if op == BusOp.DELIVER:
+            self._on_deliver(body)
+        elif op == BusOp.QUENCH:
+            try:
+                state = protocol.parse_quench(body)
+            except CodecError:
+                self.stats.malformed += 1
+                return
+            self._set_quenched(state)
+        elif op == BusOp.DEVICE_CMD:
+            if self.on_command is not None:
+                self.on_command(body)
+        else:
+            self.stats.malformed += 1
+
+    def _on_deliver(self, body: bytes) -> None:
+        self.meter.charge_copy(INBOUND_COPIES * len(body))
+        try:
+            event, _ = decode_event(body)
+        except CodecError:
+            self.stats.malformed += 1
+            return
+        # Exactly-once toward the application: per-sender watermark.
+        watermark = self._watermarks.get(event.sender, 0)
+        if event.seqno <= watermark:
+            self.stats.duplicates_dropped += 1
+            return
+        self._watermarks[event.sender] = event.seqno
+        self.stats.delivered += 1
+
+        view = event.attrs_view()
+        dispatched = False
+        for filters, callback in list(self._subscriptions.values()):
+            if any(f.matches(view) for f in filters):
+                dispatched = True
+                callback(event)
+        if not dispatched:
+            # Raced with an unsubscribe, or the bus over-delivered.
+            self.stats.undispatched += 1
+
+    def _set_quenched(self, state: bool) -> None:
+        if state != self.quenched:
+            self.quenched = state
+            if self.on_quench_change is not None:
+                self.on_quench_change(state)

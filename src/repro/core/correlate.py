@@ -1,0 +1,251 @@
+"""Event correlation over the bus.
+
+Management systems "perform control actions as a result of receiving
+events" (Section II), but raw sensor events are noisy: one tachycardia
+reading is an artefact, five in a minute are an episode.  The paper's
+introduction points at exactly this — "analysis and data mining of the
+monitored information can be used to predict potential problems ... and to
+generate a warning".
+
+:class:`EventCorrelator` is a small, window-based correlation service that
+runs beside the policy engine and turns raw event streams into higher-level
+*composite events* that policies can react to:
+
+* **count rule** — N matching events within a sliding window of T seconds;
+* **threshold-trend rule** — a numeric attribute's windowed mean crosses a
+  level (rising or falling);
+* **absence rule** — no matching event for T seconds (a watchdog; fires
+  repeatedly while the silence persists).
+
+Composite events are ordinary bus events (type chosen per rule, default
+under ``smc.correlated.``), so everything downstream — policies, proxies,
+federation — works on them unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.bus import EventBus
+from repro.core.events import Event
+from repro.errors import ConfigurationError
+from repro.matching.filters import Filter
+from repro.sim.kernel import Scheduler
+
+#: Default type prefix for composite events.
+CORRELATED_PREFIX = "smc.correlated."
+
+
+@dataclass
+class CorrelatorStats:
+    events_observed: int = 0
+    composites_published: int = 0
+    rules_active: int = 0
+
+
+class _Rule:
+    """Base bookkeeping shared by all rule kinds."""
+
+    def __init__(self, name: str, emit_type: str) -> None:
+        self.name = name
+        self.emit_type = emit_type
+        self.fired = 0
+
+
+class _CountRule(_Rule):
+    def __init__(self, name: str, emit_type: str, count: int,
+                 window_s: float, cooldown_s: float) -> None:
+        super().__init__(name, emit_type)
+        if count < 2:
+            raise ConfigurationError("count rule needs count >= 2")
+        if window_s <= 0:
+            raise ConfigurationError("count rule needs window_s > 0")
+        self.count = count
+        self.window_s = window_s
+        self.cooldown_s = cooldown_s
+        self.moments: deque[float] = deque()
+        self.last_fired_at: float | None = None
+
+    def observe(self, now: float) -> bool:
+        self.moments.append(now)
+        cutoff = now - self.window_s
+        while self.moments and self.moments[0] < cutoff:
+            self.moments.popleft()
+        if len(self.moments) < self.count:
+            return False
+        if (self.last_fired_at is not None
+                and now - self.last_fired_at < self.cooldown_s):
+            return False
+        self.last_fired_at = now
+        return True
+
+
+class _TrendRule(_Rule):
+    def __init__(self, name: str, emit_type: str, attribute: str,
+                 level: float, window_s: float, rising: bool,
+                 min_samples: int) -> None:
+        super().__init__(name, emit_type)
+        if window_s <= 0:
+            raise ConfigurationError("trend rule needs window_s > 0")
+        if min_samples < 1:
+            raise ConfigurationError("trend rule needs min_samples >= 1")
+        self.attribute = attribute
+        self.level = level
+        self.window_s = window_s
+        self.rising = rising
+        self.min_samples = min_samples
+        self.samples: deque[tuple[float, float]] = deque()
+        self.above = False      # current state, for edge-triggered firing
+
+    def observe(self, now: float, value: float) -> tuple[bool, float]:
+        self.samples.append((now, value))
+        cutoff = now - self.window_s
+        while self.samples and self.samples[0][0] < cutoff:
+            self.samples.popleft()
+        if len(self.samples) < self.min_samples:
+            return False, 0.0
+        mean = sum(v for _, v in self.samples) / len(self.samples)
+        crossed = mean > self.level if self.rising else mean < self.level
+        fire = crossed and not self.above
+        self.above = crossed
+        return fire, mean
+
+
+class _AbsenceRule(_Rule):
+    def __init__(self, name: str, emit_type: str, timeout_s: float) -> None:
+        super().__init__(name, emit_type)
+        if timeout_s <= 0:
+            raise ConfigurationError("absence rule needs timeout_s > 0")
+        self.timeout_s = timeout_s
+        self.last_seen: float | None = None
+        self.timer = None
+
+
+class EventCorrelator:
+    """Turns raw event streams into composite events via window rules."""
+
+    def __init__(self, bus: EventBus, scheduler: Scheduler,
+                 *, publisher_name: str = "correlator") -> None:
+        self.bus = bus
+        self.scheduler = scheduler
+        self.stats = CorrelatorStats()
+        self._publisher = bus.local_publisher(publisher_name)
+        self._subscriptions: dict[str, int] = {}
+        self._rules: dict[str, _Rule] = {}
+
+    # -- rule registration ---------------------------------------------------
+
+    def add_count_rule(self, name: str, filt: Filter, *, count: int,
+                       window_s: float, emit_type: str | None = None,
+                       cooldown_s: float | None = None) -> None:
+        """Fire when ``count`` matching events arrive within ``window_s``.
+
+        ``cooldown_s`` (default: the window) suppresses refiring while the
+        burst continues.
+        """
+        rule = _CountRule(name, emit_type or CORRELATED_PREFIX + name,
+                          count, window_s,
+                          window_s if cooldown_s is None else cooldown_s)
+        self._register(rule, filt, self._on_count_event)
+
+    def add_trend_rule(self, name: str, filt: Filter, *, attribute: str,
+                       level: float, window_s: float, rising: bool = True,
+                       min_samples: int = 3,
+                       emit_type: str | None = None) -> None:
+        """Fire when the windowed mean of ``attribute`` crosses ``level``.
+
+        Edge-triggered: fires once per crossing, re-arms when the mean
+        returns to the other side.
+        """
+        rule = _TrendRule(name, emit_type or CORRELATED_PREFIX + name,
+                          attribute, level, window_s, rising, min_samples)
+        self._register(rule, filt, self._on_trend_event)
+
+    def add_absence_rule(self, name: str, filt: Filter, *,
+                         timeout_s: float,
+                         emit_type: str | None = None) -> None:
+        """Fire when no matching event arrives for ``timeout_s`` seconds.
+
+        Keeps firing every ``timeout_s`` while the silence lasts — an
+        absence is a condition, not an edge.
+        """
+        rule = _AbsenceRule(name, emit_type or CORRELATED_PREFIX + name,
+                            timeout_s)
+        self._register(rule, filt, self._on_presence_event)
+        rule.last_seen = self.scheduler.now()
+        rule.timer = self.scheduler.call_later(timeout_s,
+                                               self._absence_check, rule)
+
+    def remove_rule(self, name: str) -> None:
+        rule = self._rules.pop(name, None)
+        if rule is None:
+            raise ConfigurationError(f"no correlation rule named {name!r}")
+        self.bus.unsubscribe_local(self._subscriptions.pop(name))
+        timer = getattr(rule, "timer", None)
+        if timer is not None:
+            timer.cancel()
+        self.stats.rules_active = len(self._rules)
+
+    def rules(self) -> list[str]:
+        return sorted(self._rules)
+
+    def _register(self, rule: _Rule, filt: Filter, handler) -> None:
+        if rule.name in self._rules:
+            raise ConfigurationError(
+                f"correlation rule {rule.name!r} already exists")
+        self._rules[rule.name] = rule
+        self._subscriptions[rule.name] = self.bus.subscribe_local(
+            filt, lambda event, r=rule: handler(r, event))
+        self.stats.rules_active = len(self._rules)
+
+    # -- event handlers ----------------------------------------------------
+
+    def _on_count_event(self, rule: _CountRule, event: Event) -> None:
+        self.stats.events_observed += 1
+        if rule.observe(self.scheduler.now()):
+            self._emit(rule, {
+                "rule": rule.name,
+                "count": len(rule.moments),
+                "window_s": rule.window_s,
+                "last_type": event.type,
+            })
+
+    def _on_trend_event(self, rule: _TrendRule, event: Event) -> None:
+        self.stats.events_observed += 1
+        value = event.get(rule.attribute)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return
+        fired, mean = rule.observe(self.scheduler.now(), float(value))
+        if fired:
+            self._emit(rule, {
+                "rule": rule.name,
+                "attribute": rule.attribute,
+                "mean": round(mean, 6),
+                "level": rule.level,
+                "direction": "rising" if rule.rising else "falling",
+            })
+
+    def _on_presence_event(self, rule: _AbsenceRule, event: Event) -> None:
+        self.stats.events_observed += 1
+        rule.last_seen = self.scheduler.now()
+
+    def _absence_check(self, rule: _AbsenceRule) -> None:
+        if rule.name not in self._rules:
+            return
+        now = self.scheduler.now()
+        silence = now - (rule.last_seen if rule.last_seen is not None else 0.0)
+        if silence >= rule.timeout_s:
+            self._emit(rule, {
+                "rule": rule.name,
+                "silent_for_s": round(silence, 6),
+            })
+            rule.last_seen = now      # re-arm the next firing interval
+        next_deadline = rule.timeout_s - min(silence, rule.timeout_s)
+        rule.timer = self.scheduler.call_later(
+            max(next_deadline, rule.timeout_s / 4), self._absence_check, rule)
+
+    def _emit(self, rule: _Rule, attributes: dict) -> None:
+        rule.fired += 1
+        self.stats.composites_published += 1
+        self._publisher.publish(rule.emit_type, attributes)

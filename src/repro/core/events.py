@@ -1,0 +1,173 @@
+"""The event model.
+
+An :class:`Event` is an immutable, typed attribute map stamped with its
+sender's 48-bit service id and a per-sender sequence number.  The sequence
+number is what lets the bus and subscribers enforce the paper's semantics:
+per-sender FIFO ordering and exactly-once-while-member delivery (duplicates
+created by retransmission are recognised and suppressed by ``(sender,
+seqno)``).
+
+Event *types* are dotted names (``health.hr.alarm``); management event
+types used by the SMC core live under the ``smc.`` prefix and are defined
+here so every subsystem agrees on them.
+
+The wire codec is explicit TLV (via :mod:`repro.transport.wire`) — events
+cross the network as plain bytes, never as pickled objects.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.errors import BusError, CodecError
+from repro.ids import ServiceId
+from repro.matching.filters import TYPE_ATTR
+from repro.transport import wire
+from repro.transport.wire import Value
+
+# -- management event types (the SMC vocabulary) ---------------------------
+
+#: Discovery announces an admitted device (Section II-B).
+NEW_MEMBER_TYPE = "smc.member.new"
+#: Discovery declares a device gone; proxies self-destruct on this.
+PURGE_MEMBER_TYPE = "smc.member.purge"
+#: A member fell silent but is still masked (transient disconnection).
+MEMBER_SILENT_TYPE = "smc.member.silent"
+#: A silent member was heard from again before the purge timeout.
+MEMBER_RECOVERED_TYPE = "smc.member.recovered"
+#: Prefix for management command events the policy service emits.
+COMMAND_TYPE_PREFIX = "smc.cmd."
+#: Policy service lifecycle events.
+POLICY_DEPLOYED_TYPE = "smc.policy.deployed"
+POLICY_VIOLATION_TYPE = "smc.policy.violation"
+
+
+class Event:
+    """One immutable event.
+
+    Attribute values are restricted to the wire-codec types (bool, int,
+    float, str, bytes).  The reserved name ``type`` may not appear in the
+    attribute map — the event type is exposed to content filters under that
+    name automatically via :meth:`attrs_view`.
+    """
+
+    __slots__ = ("type", "attributes", "sender", "seqno", "timestamp",
+                 "_view")
+
+    def __init__(self, type: str, attributes: Mapping[str, Value],
+                 sender: ServiceId, seqno: int, timestamp: float) -> None:
+        if not type:
+            raise BusError("event type must be non-empty")
+        if seqno < 0:
+            raise BusError(f"event seqno must be >= 0, got {seqno}")
+        attrs = dict(attributes)
+        if TYPE_ATTR in attrs:
+            raise BusError(
+                f"attribute name {TYPE_ATTR!r} is reserved for the event type")
+        for name, value in attrs.items():
+            if not name or not isinstance(name, str):
+                raise BusError(f"bad attribute name: {name!r}")
+            if not isinstance(value, (bool, int, float, str, bytes)):
+                raise BusError(
+                    f"attribute {name!r} has unsupported type "
+                    f"{type_name(value)}")
+        object.__setattr__(self, "type", type)
+        object.__setattr__(self, "attributes", MappingProxyType(attrs))
+        object.__setattr__(self, "sender", sender)
+        object.__setattr__(self, "seqno", seqno)
+        object.__setattr__(self, "timestamp", timestamp)
+        object.__setattr__(self, "_view", None)
+
+    def __setattr__(self, key: str, _value) -> None:
+        raise AttributeError(f"Event is immutable (tried to set {key!r})")
+
+    def attrs_view(self) -> Mapping[str, Value]:
+        """Attributes plus the reserved ``type`` entry, for matching."""
+        view = object.__getattribute__(self, "_view")
+        if view is None:
+            view = {TYPE_ATTR: self.type, **self.attributes}
+            object.__setattr__(self, "_view", view)
+        return view
+
+    def key(self) -> tuple[ServiceId, int]:
+        """The (sender, seqno) pair that identifies this event uniquely."""
+        return (self.sender, self.seqno)
+
+    def get(self, name: str, default: Value | None = None) -> Value | None:
+        return self.attributes.get(name, default)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Event)
+                and self.type == other.type
+                and dict(self.attributes) == dict(other.attributes)
+                and self.sender == other.sender
+                and self.seqno == other.seqno)
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.sender, self.seqno))
+
+    def __repr__(self) -> str:
+        return (f"<Event {self.type} from={self.sender} seq={self.seqno} "
+                f"attrs={dict(self.attributes)!r}>")
+
+
+def type_name(value) -> str:
+    return type(value).__name__
+
+
+# -- codec -------------------------------------------------------------------
+
+def encode_event(event: Event) -> bytes:
+    """Serialise an event for the wire."""
+    return b"".join((
+        wire.encode_str(event.type),
+        event.sender.to_bytes48(),
+        wire.encode_varint(event.seqno),
+        struct.pack("!d", event.timestamp),
+        wire.encode_attr_map(dict(event.attributes)),
+    ))
+
+
+def decode_event(buf: bytes, offset: int = 0) -> tuple[Event, int]:
+    """Parse an event from wire bytes; returns (event, new offset)."""
+    event_type, pos = wire.decode_str(buf, offset)
+    if pos + 6 > len(buf):
+        raise CodecError("truncated event: missing sender id")
+    sender = ServiceId.from_bytes48(buf[pos:pos + 6])
+    pos += 6
+    seqno, pos = wire.decode_varint(buf, pos)
+    if pos + 8 > len(buf):
+        raise CodecError("truncated event: missing timestamp")
+    (timestamp,) = struct.unpack_from("!d", buf, pos)
+    pos += 8
+    attributes, pos = wire.decode_attr_map(buf, pos)
+    if TYPE_ATTR in attributes:
+        raise CodecError(f"reserved attribute {TYPE_ATTR!r} on wire")
+    return Event(event_type, attributes, sender, seqno, timestamp), pos
+
+
+# -- management event factories --------------------------------------------
+
+def new_member_event(sender: ServiceId, seqno: int, timestamp: float, *,
+                     member: ServiceId, name: str, device_type: str,
+                     address: str) -> Event:
+    """Build the "New Member" event the discovery service publishes.
+
+    Carries "enough information for the proxy-creation process to be able
+    to generate the appropriate proxy type" (Section III-C).
+    """
+    return Event(NEW_MEMBER_TYPE,
+                 {"member": int(member), "name": name,
+                  "device_type": device_type, "address": address},
+                 sender, seqno, timestamp)
+
+
+def purge_member_event(sender: ServiceId, seqno: int, timestamp: float, *,
+                       member: ServiceId, name: str, reason: str) -> Event:
+    """Build the "Purge Member" event (departure, battery failure, timeout)."""
+    return Event(PURGE_MEMBER_TYPE,
+                 {"member": int(member), "name": name, "reason": reason},
+                 sender, seqno, timestamp)

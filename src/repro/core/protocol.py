@@ -1,0 +1,75 @@
+"""Opcodes the bus speaks inside reliable payloads.
+
+The reliability layer (:mod:`repro.transport.reliability`) gives each hop
+an ordered, acknowledged byte-message stream; this module defines what
+those messages *are*.  Every payload starts with a one-byte opcode followed
+by an opcode-specific body:
+
+===============  =======================================================
+opcode           body
+===============  =======================================================
+PUBLISH          encoded event (service → its proxy → bus)
+SUBSCRIBE        encoded subscription (service → bus)
+UNSUBSCRIBE      varint subscription id
+DELIVER          encoded event (bus → subscriber, via its proxy)
+DEVICE_DATA      raw device protocol bytes (simple sensor → its proxy)
+DEVICE_CMD       raw device protocol bytes (proxy → simple device)
+ADVERTISE        encoded filter describing what a publisher emits
+QUENCH           1 byte: 1 = stop publishing (nobody subscribed), 0 = go
+===============  =======================================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import CodecError
+from repro.transport import wire
+
+
+class BusOp(enum.IntEnum):
+    PUBLISH = 1
+    SUBSCRIBE = 2
+    UNSUBSCRIBE = 3
+    DELIVER = 4
+    DEVICE_DATA = 5
+    DEVICE_CMD = 6
+    ADVERTISE = 7
+    QUENCH = 8
+
+
+def frame(op: BusOp, body: bytes = b"") -> bytes:
+    """Prepend the opcode byte to a body."""
+    return bytes((int(op),)) + body
+
+
+def unframe(payload: bytes) -> tuple[BusOp, bytes]:
+    """Split a payload into (opcode, body)."""
+    if not payload:
+        raise CodecError("empty bus payload")
+    try:
+        op = BusOp(payload[0])
+    except ValueError:
+        raise CodecError(f"unknown bus opcode: {payload[0]}") from None
+    return op, payload[1:]
+
+
+def frame_unsubscribe(sub_id: int) -> bytes:
+    return frame(BusOp.UNSUBSCRIBE, wire.encode_varint(sub_id))
+
+
+def parse_unsubscribe(body: bytes) -> int:
+    sub_id, pos = wire.decode_varint(body)
+    if pos != len(body):
+        raise CodecError("trailing bytes after unsubscribe id")
+    return sub_id
+
+
+def frame_quench(quench_on: bool) -> bytes:
+    return frame(BusOp.QUENCH, b"\x01" if quench_on else b"\x00")
+
+
+def parse_quench(body: bytes) -> bool:
+    if len(body) != 1 or body[0] not in (0, 1):
+        raise CodecError(f"bad quench body: {body!r}")
+    return bool(body[0])

@@ -1,0 +1,97 @@
+"""Elvin-style quenching (paper Section VI).
+
+"It is possible that we would see power-saving benefits from quenching
+techniques such as those demonstrated in the Elvin publish/subscribe
+system."  Quenching tells a publisher to stop generating events nobody is
+subscribed to — on a battery-powered body sensor, every suppressed radio
+transmission is battery life.
+
+Publishers declare what they emit with an *advertisement* filter.  The
+controller compares each advertisement against the live subscription set
+using the conservative overlap relation from
+:mod:`repro.matching.covering`: a publisher is quenched only when *no*
+subscription could possibly match anything it advertises (false "overlap"
+positives keep publishers running — safe), and is woken the moment an
+overlapping subscription appears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ids import ServiceId
+from repro.matching.covering import filters_overlap
+from repro.matching.filters import Filter
+
+from repro.core.bus import EventBus
+
+
+@dataclass
+class QuenchStats:
+    advertisements: int = 0
+    quench_messages_sent: int = 0
+    wake_messages_sent: int = 0
+    currently_quenched: int = 0
+
+
+class QuenchController:
+    """Tracks advertisements and pushes quench/wake advisories to members."""
+
+    def __init__(self, bus: EventBus) -> None:
+        self.bus = bus
+        self.stats = QuenchStats()
+        self._advertisements: dict[ServiceId, Filter] = {}
+        self._quenched: dict[ServiceId, bool] = {}
+        bus.attach_quench(self)
+
+    # -- advertisement lifecycle ------------------------------------------
+
+    def register_advertisement(self, member: ServiceId, filt: Filter) -> None:
+        """Record (or replace) what ``member`` publishes; re-evaluate it."""
+        self._advertisements[member] = filt
+        self.stats.advertisements += 1
+        self._evaluate(member)
+
+    def withdraw_advertisement(self, member: ServiceId) -> None:
+        self._advertisements.pop(member, None)
+        self._quenched.pop(member, None)
+        self._recount()
+
+    # -- subscription-change hook (called by the bus) ----------------------
+
+    def on_subscriptions_changed(self) -> None:
+        for member in list(self._advertisements):
+            self._evaluate(member)
+
+    def is_quenched(self, member: ServiceId) -> bool:
+        return self._quenched.get(member, False)
+
+    # -- internals ---------------------------------------------------------
+
+    def _evaluate(self, member: ServiceId) -> None:
+        if not self.bus.is_member(member):
+            self.withdraw_advertisement(member)
+            return
+        advertisement = self._advertisements[member]
+        interested = self._anyone_interested(advertisement)
+        should_quench = not interested
+        if self._quenched.get(member, False) == should_quench:
+            return
+        self._quenched[member] = should_quench
+        self.bus.proxy_of(member).send_quench(should_quench)
+        if should_quench:
+            self.stats.quench_messages_sent += 1
+        else:
+            self.stats.wake_messages_sent += 1
+        self._recount()
+
+    def _anyone_interested(self, advertisement: Filter) -> bool:
+        for subscription in self.bus.all_subscriptions():
+            for filt in subscription.filters:
+                if filters_overlap(advertisement, filt):
+                    return True
+        return False
+
+    def _recount(self) -> None:
+        self.stats.currently_quenched = sum(
+            1 for quenched in self._quenched.values() if quenched)

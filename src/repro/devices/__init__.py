@@ -1,0 +1,62 @@
+"""Simulated e-health devices (the paper's application domain).
+
+The paper's SMC is "a body area network for monitoring patients": on-body
+sensors for heart rate, blood pressure, blood oxygen and temperature, an
+ECG monitor whose bulk stream deliberately bypasses the event bus, and
+actuator devices ("heart defibrillators, insulin and other drug pumps ...
+that could be triggered by these events").
+
+* :mod:`repro.devices.protocols` — each simple sensor's byte wire format
+  and the translator its proxy uses (paper Section III-B: translation
+  between "the device protocol and higher level event types");
+* :mod:`repro.devices.waveforms` — deterministic synthetic vital-sign
+  generators (with scripted clinical episodes) standing in for real
+  patients;
+* :mod:`repro.devices.base` — device chassis: discovery + reporting loop
+  for raw-protocol devices, discovery + BusClient for smart ones;
+* :mod:`repro.devices.sensors` / :mod:`repro.devices.actuators` — the
+  concrete devices used by the examples, tests and benchmarks.
+"""
+
+from repro.devices.actuators import DrugPump, NurseDisplay
+from repro.devices.base import Device, RawSensorDevice, SmartDevice
+from repro.devices.protocols import (
+    BloodPressureProtocol,
+    HeartRateProtocol,
+    PumpProtocol,
+    NotifyProtocol,
+    SpO2Protocol,
+    TemperatureProtocol,
+    standard_translators,
+)
+from repro.devices.sensors import (
+    BloodPressureSensor,
+    ECGMonitor,
+    ECGSink,
+    HeartRateSensor,
+    SpO2Sensor,
+    TemperatureSensor,
+)
+from repro.devices.waveforms import VitalSignsGenerator
+
+__all__ = [
+    "Device",
+    "RawSensorDevice",
+    "SmartDevice",
+    "HeartRateProtocol",
+    "BloodPressureProtocol",
+    "SpO2Protocol",
+    "TemperatureProtocol",
+    "PumpProtocol",
+    "NotifyProtocol",
+    "standard_translators",
+    "VitalSignsGenerator",
+    "HeartRateSensor",
+    "BloodPressureSensor",
+    "SpO2Sensor",
+    "TemperatureSensor",
+    "ECGMonitor",
+    "ECGSink",
+    "DrugPump",
+    "NurseDisplay",
+]

@@ -1,0 +1,146 @@
+"""Actuator devices.
+
+"Actuator devices such as heart defibrillators, insulin and other drug
+pumps are being developed that could be triggered by these events."  Both
+actuators here are command consumers: the cell's policy service reacts to
+sensor events and publishes ``smc.cmd.*`` events, which the actuator's
+proxy translates into the device bytes these classes execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import protocol as bus_protocol
+from repro.core.protocol import BusOp
+from repro.devices.base import RawSensorDevice
+from repro.devices.protocols import NotifyProtocol, PumpProtocol
+from repro.discovery.agent import AgentConfig
+from repro.sim.kernel import Scheduler
+from repro.transport.endpoint import PacketEndpoint
+
+
+@dataclass
+class DoseRecord:
+    """One executed pump command."""
+
+    at: float
+    dose_ml: float
+    reservoir_after_ml: float = field(default=0.0)
+
+
+class DrugPump(RawSensorDevice):
+    """An infusion pump with a finite reservoir and a device-side rate limit.
+
+    Defence in depth: the proxy's translator already refuses doses above
+    the protocol bound, and the pump itself refuses to exceed
+    ``max_hourly_ml`` no matter what arrives — a medical actuator must not
+    trust the network.
+    """
+
+    def __init__(self, endpoint: PacketEndpoint, scheduler: Scheduler,
+                 name: str, patient: str, *, reservoir_ml: float = 100.0,
+                 max_hourly_ml: float = 10.0, status_period_s: float = 60.0,
+                 credentials: bytes = b"", target_cell: str | None = None) -> None:
+        super().__init__(endpoint, scheduler,
+                         AgentConfig(name=name, device_type="actuator.pump",
+                                     credentials=credentials,
+                                     target_cell=target_cell),
+                         period_s=status_period_s, reliable=True)
+        self.reservoir_ml = reservoir_ml
+        self.max_hourly_ml = max_hourly_ml
+        self.doses: list[DoseRecord] = []
+        self.refused_doses = 0
+        self._protocol = PumpProtocol(patient)
+
+    # Status reports ride the normal reading path.
+    def make_reading(self, now: float) -> bytes | None:
+        recent = sum(d.dose_ml for d in self.doses)
+        return self._protocol.encode_status(recent, self.reservoir_ml)
+
+    def handle_command(self, data: bytes) -> None:
+        dose = self._protocol.decode_dose(data)
+        if dose is None:
+            return
+        now = self.scheduler.now()
+        if not self._dose_allowed(dose, now):
+            self.refused_doses += 1
+            return
+        self.reservoir_ml = max(0.0, self.reservoir_ml - dose)
+        self.doses.append(DoseRecord(at=now, dose_ml=dose,
+                                     reservoir_after_ml=self.reservoir_ml))
+
+    def _dose_allowed(self, dose: float, now: float) -> bool:
+        if dose <= 0 or dose > self.reservoir_ml:
+            return False
+        recent = sum(d.dose_ml for d in self.doses if now - d.at < 3600.0)
+        return recent + dose <= self.max_hourly_ml
+
+    def delivered_total_ml(self) -> float:
+        return sum(d.dose_ml for d in self.doses)
+
+
+class NurseDisplay(RawSensorDevice):
+    """The nurse's PDA display: renders notify commands as messages."""
+
+    def __init__(self, endpoint: PacketEndpoint, scheduler: Scheduler,
+                 name: str, *, credentials: bytes = b"",
+                 target_cell: str | None = None) -> None:
+        super().__init__(endpoint, scheduler,
+                         AgentConfig(name=name,
+                                     device_type="actuator.display",
+                                     credentials=credentials,
+                                     target_cell=target_cell),
+                         period_s=3600.0, reliable=True)
+        self.messages: list[tuple[float, str]] = []
+        self._protocol = NotifyProtocol("", listen_targets=["nurse"])
+
+    def make_reading(self, now: float) -> bytes | None:
+        return None          # a display has nothing to report
+
+    def handle_command(self, data: bytes) -> None:
+        text = self._protocol.decode_text(data)
+        if text is not None:
+            self.messages.append((self.scheduler.now(), text))
+
+    def last_message(self) -> str | None:
+        return self.messages[-1][1] if self.messages else None
+
+
+class ManualSensor(RawSensorDevice):
+    """A test/demo device whose readings are pushed by the caller.
+
+    Useful in examples and tests that need precise control over what gets
+    sent and when, without a waveform generator.
+    """
+
+    def __init__(self, endpoint: PacketEndpoint, scheduler: Scheduler,
+                 name: str, device_type: str, *, credentials: bytes = b"",
+                 target_cell: str | None = None) -> None:
+        super().__init__(endpoint, scheduler,
+                         AgentConfig(name=name, device_type=device_type,
+                                     credentials=credentials,
+                                     target_cell=target_cell),
+                         period_s=3600.0, reliable=True)
+        self.received_commands: list[bytes] = []
+
+    def make_reading(self, now: float) -> bytes | None:
+        return None
+
+    def handle_command(self, data: bytes) -> None:
+        self.received_commands.append(data)
+
+    def send_reading(self, data: bytes, *, reliable: bool = True) -> bool:
+        """Send one raw reading immediately; returns False if not joined."""
+        if not self.joined or self.core_address is None:
+            return False
+        payload = bus_protocol.frame(BusOp.DEVICE_DATA, data)
+        if reliable:
+            self.endpoint.send_reliable(self.core_address, payload)
+        else:
+            self.endpoint.send_raw(self.core_address, payload)
+        self.stats.readings_sent += 1
+        return True
+
+
+__all__ = ["DrugPump", "NurseDisplay", "ManualSensor", "DoseRecord"]

@@ -1,0 +1,195 @@
+"""Concrete body sensors.
+
+Each sensor is a :class:`~repro.devices.base.RawSensorDevice` pairing a
+wire protocol with the patient's synthetic vitals.  The heart-rate sensor
+additionally keeps a device-side alarm threshold which management commands
+can retune at run time — the paper's canonical example of a control command
+("change thresholds or monitoring strategy").
+
+The :class:`ECGMonitor` demonstrates the paper's architectural carve-out:
+"we do not consider that all communication within an SMC is routed via the
+event bus.  We assume there may be ... monitored data, such as from a heart
+ECG monitor that could be sent to a remote station for viewing and
+analysis."  It joins the cell like any member, but streams its waveform as
+fire-and-forget RAW frames straight to a sink, bypassing the bus.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.devices.base import RawSensorDevice
+from repro.devices.protocols import (
+    SET_PERIOD_OP,
+    SET_THRESHOLD_OP,
+    BloodPressureProtocol,
+    HeartRateProtocol,
+    SpO2Protocol,
+    TemperatureProtocol,
+    seal,
+    unseal,
+)
+from repro.devices.waveforms import VitalSignsGenerator
+from repro.discovery.agent import AgentConfig
+from repro.sim.kernel import Scheduler
+from repro.transport.base import Address
+from repro.transport.endpoint import PacketEndpoint
+
+
+class HeartRateSensor(RawSensorDevice):
+    """Heart-rate sensor with a retunable device-side alarm threshold."""
+
+    def __init__(self, endpoint: PacketEndpoint, scheduler: Scheduler,
+                 name: str, vitals: VitalSignsGenerator, *,
+                 period_s: float = 1.0, threshold_bpm: float = 120.0,
+                 credentials: bytes = b"", target_cell: str | None = None) -> None:
+        super().__init__(endpoint, scheduler,
+                         AgentConfig(name=name, device_type="sensor.hr",
+                                     credentials=credentials,
+                                     target_cell=target_cell),
+                         period_s=period_s, reliable=True)
+        self.vitals = vitals
+        self.threshold_bpm = threshold_bpm
+        self._protocol = HeartRateProtocol(vitals.patient)
+
+    def make_reading(self, now: float) -> bytes | None:
+        bpm = self.vitals.sample(now).hr
+        return self._protocol.encode_reading(bpm,
+                                             alarm=bpm > self.threshold_bpm)
+
+    def handle_command(self, data: bytes) -> None:
+        decoded = self._protocol.decode_command(data)
+        if decoded is None:
+            return
+        operation, value = decoded
+        if operation == SET_THRESHOLD_OP:
+            self.threshold_bpm = value
+        elif operation == SET_PERIOD_OP:
+            self.set_period(value)
+
+
+class BloodPressureSensor(RawSensorDevice):
+    """Blood-pressure cuff with a command-settable measurement period."""
+
+    def __init__(self, endpoint: PacketEndpoint, scheduler: Scheduler,
+                 name: str, vitals: VitalSignsGenerator, *,
+                 period_s: float = 30.0, credentials: bytes = b"",
+                 target_cell: str | None = None) -> None:
+        super().__init__(endpoint, scheduler,
+                         AgentConfig(name=name, device_type="sensor.bp",
+                                     credentials=credentials,
+                                     target_cell=target_cell),
+                         period_s=period_s, reliable=True)
+        self.vitals = vitals
+        self._protocol = BloodPressureProtocol(vitals.patient)
+
+    def make_reading(self, now: float) -> bytes | None:
+        sample = self.vitals.sample(now)
+        return self._protocol.encode_reading(sample.systolic, sample.diastolic)
+
+    def handle_command(self, data: bytes) -> None:
+        decoded = self._protocol.decode_command(data)
+        if decoded is not None and decoded[0] == SET_PERIOD_OP:
+            self.set_period(decoded[1])
+
+
+class SpO2Sensor(RawSensorDevice):
+    """Pulse oximeter."""
+
+    def __init__(self, endpoint: PacketEndpoint, scheduler: Scheduler,
+                 name: str, vitals: VitalSignsGenerator, *,
+                 period_s: float = 2.0, credentials: bytes = b"",
+                 target_cell: str | None = None) -> None:
+        super().__init__(endpoint, scheduler,
+                         AgentConfig(name=name, device_type="sensor.spo2",
+                                     credentials=credentials,
+                                     target_cell=target_cell),
+                         period_s=period_s, reliable=True)
+        self.vitals = vitals
+        self._protocol = SpO2Protocol(vitals.patient)
+
+    def make_reading(self, now: float) -> bytes | None:
+        sample = self.vitals.sample(now)
+        return self._protocol.encode_reading(sample.spo2, sample.hr)
+
+
+class TemperatureSensor(RawSensorDevice):
+    """Body-temperature sensor, fire-and-forget by default (the paper's
+    example of a device needing no acknowledgements)."""
+
+    def __init__(self, endpoint: PacketEndpoint, scheduler: Scheduler,
+                 name: str, vitals: VitalSignsGenerator, *,
+                 period_s: float = 10.0, reliable: bool = False,
+                 credentials: bytes = b"", target_cell: str | None = None) -> None:
+        super().__init__(endpoint, scheduler,
+                         AgentConfig(name=name, device_type="sensor.temp",
+                                     credentials=credentials,
+                                     target_cell=target_cell),
+                         period_s=period_s, reliable=reliable)
+        self.vitals = vitals
+        self._protocol = TemperatureProtocol(vitals.patient)
+
+    def make_reading(self, now: float) -> bytes | None:
+        return self._protocol.encode_reading(self.vitals.sample(now).temp)
+
+
+_ECG_MAGIC = 0x45       # 'E'
+
+
+class ECGMonitor(RawSensorDevice):
+    """Streams ECG waveform bursts directly to a sink, bypassing the bus."""
+
+    def __init__(self, endpoint: PacketEndpoint, scheduler: Scheduler,
+                 name: str, vitals: VitalSignsGenerator,
+                 sink_address: Address, *, period_s: float = 0.25,
+                 samples_per_burst: int = 64, credentials: bytes = b"",
+                 target_cell: str | None = None) -> None:
+        super().__init__(endpoint, scheduler,
+                         AgentConfig(name=name, device_type="sensor.ecg",
+                                     credentials=credentials,
+                                     target_cell=target_cell),
+                         period_s=period_s, reliable=False)
+        self.vitals = vitals
+        self.sink_address = sink_address
+        self.samples_per_burst = samples_per_burst
+        self.bursts_streamed = 0
+
+    def make_reading(self, now: float) -> bytes | None:
+        return None          # nothing goes through the proxy path
+
+    def _report(self) -> None:
+        # Override the reporting tick entirely: the waveform goes straight
+        # to the remote station, not through the SMC core.
+        if not self.joined:
+            return
+        now = self.scheduler.now()
+        samples = self.vitals.ecg_samples(now, self.samples_per_burst)
+        body = struct.pack("!Bd H", _ECG_MAGIC, now, len(samples))
+        body += b"".join(struct.pack("!h", round(s * 1000)) for s in samples)
+        self.endpoint.send_raw(self.sink_address, seal(body))
+        self.bursts_streamed += 1
+        self.stats.readings_sent += 1
+
+
+class ECGSink:
+    """The remote viewing station an ECG monitor streams to."""
+
+    def __init__(self, endpoint: PacketEndpoint) -> None:
+        self.endpoint = endpoint
+        self.bursts_received = 0
+        self.samples_received = 0
+        self.last_burst: list[float] = []
+        endpoint.set_payload_handler(self._on_payload)
+
+    def _on_payload(self, peer, payload: bytes) -> None:
+        body = unseal(payload)
+        if body is None or len(body) < 11 or body[0] != _ECG_MAGIC:
+            return
+        (_magic, _timestamp, count) = struct.unpack_from("!Bd H", body)
+        expected = 11 + 2 * count
+        if len(body) != expected:
+            return
+        values = struct.unpack_from(f"!{count}h", body, 11)
+        self.last_burst = [v / 1000.0 for v in values]
+        self.bursts_received += 1
+        self.samples_received += count

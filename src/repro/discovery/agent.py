@@ -1,0 +1,259 @@
+"""The device-side discovery agent.
+
+Every device (sensor, actuator, PDA application) runs one agent.  The agent
+listens for cell BEACONs, announces the device with its credentials,
+heartbeats while joined, and detects falling out of range (beacon silence)
+so the device can stop transmitting and re-join when the cell is heard
+again — the mobile side of the paper's join/leave dynamics.
+
+State machine::
+
+    SEARCHING --beacon--> ANNOUNCING --JOIN_ACK--> JOINED
+        ^                     |  ^                   |
+        |                JOIN_NAK  beacon          beacon silence
+        +--- REJECTED <-------+   (re-announce)      |
+        ^                                            v
+        +------------------- beacon silence ---- SEARCHING
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.discovery.messages import (
+    AnnounceBody,
+    BeaconBody,
+    JoinAckBody,
+    JoinNakBody,
+    LeaveBody,
+)
+from repro.errors import CodecError, ConfigurationError
+from repro.sim.kernel import Scheduler
+from repro.transport.base import Address
+from repro.transport.endpoint import PacketEndpoint
+from repro.transport.packets import Packet, PacketType
+
+
+class AgentState(enum.Enum):
+    SEARCHING = "searching"
+    ANNOUNCING = "announcing"
+    JOINED = "joined"
+    REJECTED = "rejected"
+    STOPPED = "stopped"
+
+
+@dataclass(frozen=True)
+class AgentConfig:
+    """Identity and timing of one device's agent."""
+
+    name: str
+    device_type: str
+    credentials: bytes = b""
+    #: Only join a cell with this name (None = first cell heard).
+    target_cell: str | None = None
+    #: Declare the cell out of range after this much beacon silence.
+    beacon_timeout_s: float = 3.5
+    #: Re-announce period while waiting for a JOIN_ACK.
+    announce_retry_s: float = 1.0
+    #: How long a REJECTED agent waits before trying again.
+    rejection_backoff_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.device_type:
+            raise ConfigurationError("agent needs a name and a device_type")
+
+
+@dataclass
+class AgentStats:
+    beacons_heard: int = 0
+    announces_sent: int = 0
+    joins: int = 0
+    rejections: int = 0
+    losses: int = 0           # times the cell went out of range
+    heartbeats_sent: int = 0
+
+
+class DiscoveryAgent:
+    """Finds a cell, joins it, keeps the membership alive."""
+
+    def __init__(self, endpoint: PacketEndpoint, scheduler: Scheduler,
+                 config: AgentConfig) -> None:
+        self.endpoint = endpoint
+        self.scheduler = scheduler
+        self.config = config
+        self.state = AgentState.STOPPED
+        self.stats = AgentStats()
+        self.cell_name: str | None = None
+        self.core_address: Address | None = None
+        #: Invoked as ``on_joined(cell_name, core_address)``.
+        self.on_joined: Callable[[str, Address], None] | None = None
+        #: True when the most recent JOIN_ACK opened a *new* membership
+        #: session (see JoinAckBody.new_session); read it in on_joined.
+        self.last_join_was_new = True
+        #: Invoked as ``on_left(reason)`` when membership is lost.
+        self.on_left: Callable[[str], None] | None = None
+        #: Invoked as ``on_rejected(reason)``.
+        self.on_rejected: Callable[[str], None] | None = None
+
+        self._heartbeat_timer = None
+        self._announce_timer = None
+        self._watchdog_timer = None
+        self._last_beacon_at: float | None = None
+        endpoint.set_control_handler(self._on_control)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin searching for a cell."""
+        if self.state != AgentState.STOPPED:
+            return
+        self._enter_searching()
+
+    def stop(self) -> None:
+        """Politely leave (if joined) and stop all timers."""
+        if self.state == AgentState.JOINED and self.core_address is not None:
+            self.endpoint.send_control(self.core_address, PacketType.LEAVE,
+                                       LeaveBody("leave").encode())
+        self._cancel_timers()
+        self.state = AgentState.STOPPED
+        self.cell_name = None
+        self.core_address = None
+
+    @property
+    def joined(self) -> bool:
+        return self.state == AgentState.JOINED
+
+    # -- control-plane dispatch ----------------------------------------------
+
+    def _on_control(self, packet: Packet, src: Address) -> None:
+        if self.state == AgentState.STOPPED:
+            return
+        try:
+            if packet.type == PacketType.BEACON:
+                self._on_beacon(BeaconBody.decode(packet.payload), src)
+            elif packet.type == PacketType.JOIN_ACK:
+                self._on_join_ack(JoinAckBody.decode(packet.payload), src)
+            elif packet.type == PacketType.JOIN_NAK:
+                self._on_join_nak(JoinNakBody.decode(packet.payload))
+        except CodecError:
+            return
+
+    def _on_beacon(self, beacon: BeaconBody, src: Address) -> None:
+        if (self.config.target_cell is not None
+                and beacon.cell_name != self.config.target_cell):
+            return
+        self.stats.beacons_heard += 1
+        self._last_beacon_at = self.scheduler.now()
+        if self.state == AgentState.SEARCHING:
+            self.cell_name = beacon.cell_name
+            self.core_address = src
+            self._enter_announcing()
+
+    def _on_join_ack(self, ack: JoinAckBody, src: Address) -> None:
+        if self.state not in (AgentState.ANNOUNCING, AgentState.JOINED):
+            return
+        first_join = self.state is AgentState.ANNOUNCING
+        self.state = AgentState.JOINED
+        self.cell_name = ack.cell_name
+        self.core_address = src
+        self._cancel_announce()
+        self.last_join_was_new = ack.new_session
+        if first_join:
+            self.stats.joins += 1
+            self._start_heartbeats(ack.heartbeat_period_s)
+            if self.on_joined is not None:
+                self.on_joined(ack.cell_name, src)
+
+    def _on_join_nak(self, nak: JoinNakBody) -> None:
+        if self.state != AgentState.ANNOUNCING:
+            return
+        self.state = AgentState.REJECTED
+        self.stats.rejections += 1
+        self._cancel_announce()
+        self.scheduler.call_later(self.config.rejection_backoff_s,
+                                  self._retry_after_rejection)
+        if self.on_rejected is not None:
+            self.on_rejected(nak.reason)
+
+    def _retry_after_rejection(self) -> None:
+        if self.state == AgentState.REJECTED:
+            self._enter_searching()
+
+    # -- states --------------------------------------------------------------
+
+    def _enter_searching(self) -> None:
+        self._cancel_timers()
+        self.state = AgentState.SEARCHING
+        self.cell_name = None
+        self.core_address = None
+        self._last_beacon_at = None
+
+    def _enter_announcing(self) -> None:
+        self.state = AgentState.ANNOUNCING
+        self._send_announce()
+        self._announce_timer = self.scheduler.every(
+            self.config.announce_retry_s, self._send_announce)
+        self._start_watchdog()
+
+    def _send_announce(self) -> None:
+        if self.core_address is None:
+            return
+        body = AnnounceBody(self.config.name, self.config.device_type,
+                            self.config.credentials)
+        self.endpoint.send_control(self.core_address, PacketType.ANNOUNCE,
+                                   body.encode())
+        self.stats.announces_sent += 1
+
+    def _start_heartbeats(self, period_s: float) -> None:
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+        self._heartbeat_timer = self.scheduler.every(period_s,
+                                                     self._send_heartbeat)
+
+    def _send_heartbeat(self) -> None:
+        if self.state == AgentState.JOINED and self.core_address is not None:
+            self.endpoint.send_control(self.core_address, PacketType.HEARTBEAT)
+            self.stats.heartbeats_sent += 1
+
+    # -- out-of-range watchdog ----------------------------------------------
+
+    def _start_watchdog(self) -> None:
+        if self._watchdog_timer is None:
+            self._watchdog_timer = self.scheduler.every(
+                self.config.beacon_timeout_s / 2.0, self._check_beacons)
+
+    def _check_beacons(self) -> None:
+        if self.state not in (AgentState.JOINED, AgentState.ANNOUNCING):
+            return
+        if self._last_beacon_at is None:
+            return
+        silence = self.scheduler.now() - self._last_beacon_at
+        if silence > self.config.beacon_timeout_s:
+            was_joined = self.state == AgentState.JOINED
+            self.stats.losses += 1
+            self._enter_searching()
+            self._start_watchdog_noop()
+            if was_joined and self.on_left is not None:
+                self.on_left("beacon silence")
+
+    def _start_watchdog_noop(self) -> None:
+        # _enter_searching cancelled every timer including the watchdog;
+        # searching needs no watchdog (the next beacon restarts the cycle).
+        pass
+
+    # -- internals ---------------------------------------------------------
+
+    def _cancel_announce(self) -> None:
+        if self._announce_timer is not None:
+            self._announce_timer.cancel()
+            self._announce_timer = None
+
+    def _cancel_timers(self) -> None:
+        self._cancel_announce()
+        for timer in (self._heartbeat_timer, self._watchdog_timer):
+            if timer is not None:
+                timer.cancel()
+        self._heartbeat_timer = None
+        self._watchdog_timer = None

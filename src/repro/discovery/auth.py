@@ -1,0 +1,87 @@
+"""Admission authentication.
+
+The discovery service "handles the detection and admission of new services
+to the SMC when they enter communication range (employing authentication
+specific to the application)".  The mechanism is pluggable:
+:class:`Authenticator` is the interface, and three application-flavoured
+implementations are provided.  Medical deployments would slot in something
+stronger behind the same interface.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Protocol
+
+from repro.discovery.messages import AnnounceBody
+from repro.ids import ServiceId
+
+
+class Authenticator(Protocol):
+    """Decides whether an announcing device may join the cell."""
+
+    def authenticate(self, member_id: ServiceId,
+                     announce: AnnounceBody) -> tuple[bool, str]:
+        """Return ``(admitted, reason)``; reason is reported on refusal."""
+        ...
+
+
+class AllowAllAuthenticator:
+    """Admit everything — development and benchmark cells."""
+
+    def authenticate(self, member_id: ServiceId,
+                     announce: AnnounceBody) -> tuple[bool, str]:
+        return True, "open cell"
+
+
+class SharedSecretAuthenticator:
+    """Admit devices presenting an HMAC of their identity under the cell key.
+
+    The credential is ``HMAC-SHA256(secret, name || device_type)`` — enough
+    to keep a neighbouring patient's sensors out of this patient's cell
+    without a PKI, which is the right weight for a body-area network.
+    """
+
+    def __init__(self, secret: bytes) -> None:
+        self._secret = bytes(secret)
+
+    def credential_for(self, name: str, device_type: str) -> bytes:
+        """Compute the credential a legitimate device should present."""
+        message = name.encode("utf-8") + b"\x00" + device_type.encode("utf-8")
+        return hmac.new(self._secret, message, hashlib.sha256).digest()
+
+    def authenticate(self, member_id: ServiceId,
+                     announce: AnnounceBody) -> tuple[bool, str]:
+        expected = self.credential_for(announce.name, announce.device_type)
+        if hmac.compare_digest(expected, announce.credentials):
+            return True, "credential accepted"
+        return False, "bad credential"
+
+
+class DeviceTypeAllowList:
+    """Admit only known device types (e.g. this patient's prescribed kit)."""
+
+    def __init__(self, allowed_types: set[str] | list[str]) -> None:
+        self._allowed = set(allowed_types)
+
+    def authenticate(self, member_id: ServiceId,
+                     announce: AnnounceBody) -> tuple[bool, str]:
+        if announce.device_type in self._allowed:
+            return True, "device type allowed"
+        return False, f"device type {announce.device_type!r} not allowed"
+
+
+class CompositeAuthenticator:
+    """All inner authenticators must admit (e.g. allow-list AND secret)."""
+
+    def __init__(self, inner: list[Authenticator]) -> None:
+        self._inner = list(inner)
+
+    def authenticate(self, member_id: ServiceId,
+                     announce: AnnounceBody) -> tuple[bool, str]:
+        for authenticator in self._inner:
+            admitted, reason = authenticator.authenticate(member_id, announce)
+            if not admitted:
+                return False, reason
+        return True, "all checks passed"

@@ -1,0 +1,96 @@
+"""Group membership table.
+
+Tracks every admitted member's lifecycle::
+
+    ACTIVE --silence > silent_after--> SILENT --silence > purge_after--> PURGED
+      ^                                  |
+      +------- heard from again ---------+
+
+SILENT is the masking state the paper requires: the member is still part of
+the SMC (its proxy and queued events survive), but the cell knows it has
+not been heard from.  Only the purge transition is irreversible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import DiscoveryError
+from repro.ids import ServiceId
+from repro.transport.base import Address
+
+
+class MemberState(enum.Enum):
+    ACTIVE = "active"
+    SILENT = "silent"
+    PURGED = "purged"
+
+
+@dataclass
+class MemberRecord:
+    """Everything the cell knows about one member."""
+
+    member_id: ServiceId
+    name: str
+    device_type: str
+    address: Address
+    admitted_at: float
+    last_heard: float
+    state: MemberState = MemberState.ACTIVE
+    silent_since: float | None = field(default=None)
+
+    def heard(self, now: float) -> bool:
+        """Record liveness; returns True if this recovered a SILENT member."""
+        self.last_heard = now
+        if self.state == MemberState.SILENT:
+            self.state = MemberState.ACTIVE
+            self.silent_since = None
+            return True
+        return False
+
+    def silence(self, now: float) -> float:
+        """Seconds since the member was last heard from."""
+        return now - self.last_heard
+
+
+class MembershipTable:
+    """Registry of admitted members, keyed by service id."""
+
+    def __init__(self) -> None:
+        self._records: dict[ServiceId, MemberRecord] = {}
+
+    def admit(self, record: MemberRecord) -> None:
+        if record.member_id in self._records:
+            raise DiscoveryError(f"member {record.member_id} already admitted")
+        self._records[record.member_id] = record
+
+    def get(self, member_id: ServiceId) -> MemberRecord | None:
+        return self._records.get(member_id)
+
+    def remove(self, member_id: ServiceId) -> MemberRecord:
+        try:
+            record = self._records.pop(member_id)
+        except KeyError:
+            raise DiscoveryError(f"member {member_id} not admitted") from None
+        record.state = MemberState.PURGED
+        return record
+
+    def members(self) -> list[MemberRecord]:
+        """All records, ordered by member id for determinism."""
+        return [self._records[k] for k in sorted(self._records)]
+
+    def in_state(self, state: MemberState) -> list[MemberRecord]:
+        return [r for r in self.members() if r.state == state]
+
+    def by_name(self, name: str) -> MemberRecord | None:
+        for record in self._records.values():
+            if record.name == name:
+                return record
+        return None
+
+    def __contains__(self, member_id: ServiceId) -> bool:
+        return member_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,125 @@
+"""Wire bodies for the discovery control plane.
+
+Control packets are unsequenced datagrams (loss is tolerated by periodic
+repetition), so each body is a small, self-contained TLV structure.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import CodecError
+from repro.transport import wire
+
+
+@dataclass(frozen=True)
+class BeaconBody:
+    """Periodic presence broadcast from the SMC core."""
+
+    cell_name: str
+    core_address: str          # textual, parsed by agents on the same medium
+
+    def encode(self) -> bytes:
+        return wire.encode_str(self.cell_name) + wire.encode_str(self.core_address)
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "BeaconBody":
+        cell_name, pos = wire.decode_str(buf)
+        core_address, pos = wire.decode_str(buf, pos)
+        _expect_end(buf, pos, "beacon")
+        return cls(cell_name, core_address)
+
+
+@dataclass(frozen=True)
+class AnnounceBody:
+    """A device introducing itself to a cell it heard beaconing."""
+
+    name: str
+    device_type: str
+    credentials: bytes = b""
+
+    def encode(self) -> bytes:
+        return (wire.encode_str(self.name) + wire.encode_str(self.device_type)
+                + wire.encode_varint(len(self.credentials)) + self.credentials)
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "AnnounceBody":
+        name, pos = wire.decode_str(buf)
+        device_type, pos = wire.decode_str(buf, pos)
+        cred_len, pos = wire.decode_varint(buf, pos)
+        if pos + cred_len > len(buf):
+            raise CodecError("truncated announce credentials")
+        credentials = bytes(buf[pos:pos + cred_len])
+        _expect_end(buf, pos + cred_len, "announce")
+        return cls(name, device_type, credentials)
+
+
+@dataclass(frozen=True)
+class JoinAckBody:
+    """Admission granted: cell identity plus the member's timing contract.
+
+    ``new_session`` distinguishes a *fresh admission* (the cell created a
+    new membership record — any previous channel/subscription state the
+    device holds is stale and must be reset) from a re-acknowledgement of
+    an existing membership (a masked transient disconnection: all state is
+    still valid).  The paper's delivery guarantee is scoped to one
+    membership session, and this flag is how the device learns where the
+    session boundary fell.
+    """
+
+    cell_name: str
+    heartbeat_period_s: float
+    lease_s: float             # silence tolerated before the purge fires
+    new_session: bool = True
+
+    def encode(self) -> bytes:
+        return (wire.encode_str(self.cell_name)
+                + struct.pack("!dd?", self.heartbeat_period_s, self.lease_s,
+                              self.new_session))
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "JoinAckBody":
+        cell_name, pos = wire.decode_str(buf)
+        if pos + 17 > len(buf):
+            raise CodecError("truncated join-ack timing")
+        heartbeat, lease, new_session = struct.unpack_from("!dd?", buf, pos)
+        _expect_end(buf, pos + 17, "join-ack")
+        return cls(cell_name, heartbeat, lease, new_session)
+
+
+@dataclass(frozen=True)
+class JoinNakBody:
+    """Admission refused."""
+
+    reason: str
+
+    def encode(self) -> bytes:
+        return wire.encode_str(self.reason)
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "JoinNakBody":
+        reason, pos = wire.decode_str(buf)
+        _expect_end(buf, pos, "join-nak")
+        return cls(reason)
+
+
+@dataclass(frozen=True)
+class LeaveBody:
+    """Polite departure."""
+
+    reason: str = "leave"
+
+    def encode(self) -> bytes:
+        return wire.encode_str(self.reason)
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "LeaveBody":
+        reason, pos = wire.decode_str(buf)
+        _expect_end(buf, pos, "leave")
+        return cls(reason)
+
+
+def _expect_end(buf: bytes, pos: int, what: str) -> None:
+    if pos != len(buf):
+        raise CodecError(f"trailing bytes after {what} body")

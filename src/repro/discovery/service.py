@@ -1,0 +1,261 @@
+"""The cell-side discovery service.
+
+Runs on the SMC core next to the event bus.  Broadcasts periodic BEACONs so
+devices can find the cell; admits devices that ANNOUNCE themselves (after
+authentication); tracks member liveness through HEARTBEATs; and drives the
+masking state machine (ACTIVE → SILENT → purge) with a periodic sweep.
+
+Membership *changes* are reported onto the event bus as ``smc.member.*``
+events — that is the entire coupling between discovery and the bus, exactly
+as the paper separates the two concerns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bootstrap import format_address
+from repro.core.bus import EventBus
+from repro.core.events import (
+    MEMBER_RECOVERED_TYPE,
+    MEMBER_SILENT_TYPE,
+    NEW_MEMBER_TYPE,
+    PURGE_MEMBER_TYPE,
+)
+from repro.discovery.auth import AllowAllAuthenticator, Authenticator
+from repro.discovery.membership import MembershipTable, MemberRecord, MemberState
+from repro.discovery.messages import (
+    AnnounceBody,
+    BeaconBody,
+    JoinAckBody,
+    JoinNakBody,
+    LeaveBody,
+)
+from repro.errors import CodecError, ConfigurationError
+from repro.ids import ServiceId
+from repro.sim.kernel import Scheduler
+from repro.transport.base import Address
+from repro.transport.endpoint import PacketEndpoint
+from repro.transport.packets import Packet, PacketType
+
+
+@dataclass(frozen=True)
+class DiscoveryConfig:
+    """Timing and identity of one cell's discovery protocol.
+
+    ``silent_after`` and ``purge_after`` realise the paper's masking of
+    transient disconnections: a device may be silent for up to
+    ``purge_after`` seconds (nurse out of the room) before the cell gives
+    up on it and launches a Purge Member event (Section VI names exactly
+    this timeout as a tuning scenario).
+    """
+
+    cell_name: str
+    beacon_period_s: float = 1.0
+    heartbeat_period_s: float = 1.0
+    silent_after_s: float = 2.5
+    purge_after_s: float = 10.0
+    sweep_period_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.cell_name:
+            raise ConfigurationError("cell_name must be non-empty")
+        for name in ("beacon_period_s", "heartbeat_period_s",
+                     "silent_after_s", "purge_after_s", "sweep_period_s"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be > 0")
+        if self.purge_after_s <= self.silent_after_s:
+            raise ConfigurationError(
+                "purge_after_s must exceed silent_after_s "
+                "(SILENT is the masking state before a purge)")
+
+
+@dataclass
+class DiscoveryStats:
+    beacons_sent: int = 0
+    announces_seen: int = 0
+    admissions: int = 0
+    rejections: int = 0
+    heartbeats_seen: int = 0
+    recoveries: int = 0
+    silences: int = 0
+    purges: int = 0
+    leaves: int = 0
+
+
+class DiscoveryService:
+    """Beacons, admission, leases and the purge state machine."""
+
+    def __init__(self, bus: EventBus, endpoint: PacketEndpoint,
+                 scheduler: Scheduler, config: DiscoveryConfig,
+                 authenticator: Authenticator | None = None) -> None:
+        self.bus = bus
+        self.endpoint = endpoint
+        self.scheduler = scheduler
+        self.config = config
+        self.authenticator = (authenticator if authenticator is not None
+                              else AllowAllAuthenticator())
+        self.table = MembershipTable()
+        self.stats = DiscoveryStats()
+        self._publisher = bus.local_publisher(f"discovery.{config.cell_name}")
+        self._beacon_timer = None
+        self._sweep_timer = None
+        self._running = False
+        endpoint.set_control_handler(self._on_control)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin beaconing and liveness sweeps."""
+        if self._running:
+            return
+        self._running = True
+        self._beacon_timer = self.scheduler.every(self.config.beacon_period_s,
+                                                  self._send_beacon)
+        self._sweep_timer = self.scheduler.every(self.config.sweep_period_s,
+                                                 self._sweep)
+        self._send_beacon()
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        if self._beacon_timer is not None:
+            self._beacon_timer.cancel()
+        if self._sweep_timer is not None:
+            self._sweep_timer.cancel()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # -- beaconing ----------------------------------------------------------
+
+    def _send_beacon(self) -> None:
+        body = BeaconBody(self.config.cell_name,
+                          format_address(self.endpoint.local_address))
+        self.endpoint.broadcast_control(PacketType.BEACON, body.encode())
+        self.stats.beacons_sent += 1
+
+    # -- control-plane dispatch ----------------------------------------------
+
+    def _on_control(self, packet: Packet, src: Address) -> None:
+        if not self._running:
+            return
+        try:
+            if packet.type == PacketType.ANNOUNCE:
+                self._on_announce(packet.sender, AnnounceBody.decode(packet.payload), src)
+            elif packet.type == PacketType.HEARTBEAT:
+                self._on_heartbeat(packet.sender)
+            elif packet.type == PacketType.LEAVE:
+                self._on_leave(packet.sender, LeaveBody.decode(packet.payload))
+            # BEACON/JOIN_* from other cells are ignored by the service side.
+        except CodecError:
+            return
+
+    # -- admission ----------------------------------------------------------
+
+    def _on_announce(self, member_id: ServiceId, announce: AnnounceBody,
+                     src: Address) -> None:
+        self.stats.announces_seen += 1
+        record = self.table.get(member_id)
+        if record is not None:
+            # Known member re-announcing (e.g. it missed our ack, or it was
+            # out of range): treat as liveness, re-ack idempotently.  The
+            # membership session continues, so new_session=False.
+            self._mark_heard(record)
+            self._send_join_ack(src, new_session=False)
+            return
+
+        admitted, reason = self.authenticator.authenticate(member_id, announce)
+        if not admitted:
+            self.stats.rejections += 1
+            self.endpoint.send_control(src, PacketType.JOIN_NAK,
+                                       JoinNakBody(reason).encode())
+            return
+
+        now = self.scheduler.now()
+        record = MemberRecord(member_id=member_id, name=announce.name,
+                              device_type=announce.device_type, address=src,
+                              admitted_at=now, last_heard=now)
+        self.table.admit(record)
+        self.stats.admissions += 1
+        self.endpoint.learn_peer(member_id, src)
+        self._send_join_ack(src, new_session=True)
+        # "This is triggered by a discovery event": the New Member event is
+        # what makes the rest of the cell (bootstrap, policy) react.
+        self._publisher.publish(NEW_MEMBER_TYPE, {
+            "member": int(member_id),
+            "name": announce.name,
+            "device_type": announce.device_type,
+            "address": format_address(src),
+        })
+
+    def _send_join_ack(self, src: Address, *, new_session: bool) -> None:
+        ack = JoinAckBody(self.config.cell_name,
+                          self.config.heartbeat_period_s,
+                          self.config.purge_after_s, new_session)
+        self.endpoint.send_control(src, PacketType.JOIN_ACK, ack.encode())
+
+    # -- liveness ------------------------------------------------------------
+
+    def _on_heartbeat(self, member_id: ServiceId) -> None:
+        record = self.table.get(member_id)
+        if record is None:
+            return            # heartbeat from a purged/unknown device
+        self.stats.heartbeats_seen += 1
+        self._mark_heard(record)
+
+    def _mark_heard(self, record: MemberRecord) -> None:
+        recovered = record.heard(self.scheduler.now())
+        if recovered:
+            self.stats.recoveries += 1
+            self._publisher.publish(MEMBER_RECOVERED_TYPE, {
+                "member": int(record.member_id), "name": record.name,
+            })
+
+    def _on_leave(self, member_id: ServiceId, leave: LeaveBody) -> None:
+        record = self.table.get(member_id)
+        if record is None:
+            return
+        self.stats.leaves += 1
+        self._purge(record, reason=leave.reason)
+
+    # -- the masking state machine ------------------------------------------
+
+    def _sweep(self) -> None:
+        now = self.scheduler.now()
+        for record in self.table.members():
+            silence = record.silence(now)
+            if (record.state == MemberState.ACTIVE
+                    and silence > self.config.silent_after_s):
+                record.state = MemberState.SILENT
+                record.silent_since = now
+                self.stats.silences += 1
+                self._publisher.publish(MEMBER_SILENT_TYPE, {
+                    "member": int(record.member_id), "name": record.name,
+                })
+            if (record.state == MemberState.SILENT
+                    and silence > self.config.purge_after_s):
+                self._purge(record, reason="timeout")
+
+    def _purge(self, record: MemberRecord, reason: str) -> None:
+        """Remove a member and launch the Purge Member event.
+
+        The event is what triggers the member's proxy to destroy itself
+        and its queued events; discovery itself only maintains the table.
+        """
+        self.table.remove(record.member_id)
+        self.stats.purges += 1
+        self._publisher.publish(PURGE_MEMBER_TYPE, {
+            "member": int(record.member_id), "name": record.name,
+            "reason": reason,
+        })
+
+    # -- queries ------------------------------------------------------------
+
+    def member_names(self) -> list[str]:
+        return [record.name for record in self.table.members()]
+
+    def is_member(self, member_id: ServiceId) -> bool:
+        return member_id in self.table

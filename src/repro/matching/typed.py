@@ -1,0 +1,154 @@
+"""Type-based publish/subscribe (paper Section VI).
+
+The paper plans "to replace the content-based publish/subscribe mechanism
+with a type-based publish/subscribe mechanism, to remove the reliance on
+arbitrary tags as event identifiers".  This engine implements that
+replacement in the style of Eugster, Guerraoui & Sventek's *Type-Based
+Publish/Subscribe* (the paper's reference [13]):
+
+* event types form a hierarchy expressed with dotted names
+  (``health.hr.alarm`` is a subtype of ``health.hr``);
+* subscribing to a type delivers events of that type **and of every
+  subtype** — subtype polymorphism, the property arbitrary string tags
+  lack;
+* a subscription may carry residual content constraints which are
+  evaluated only after the (cheap, trie-indexed) type test passes.
+
+The engine speaks the common :class:`~repro.matching.engine.MatchingEngine`
+interface: an ``EQ`` constraint on the reserved ``type`` attribute is
+interpreted as a *type-conforming* subscription (self or subtype), which is
+exactly how a type-based API differs from a content-based one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.errors import FilterError
+from repro.ids import ServiceId
+from repro.matching.engine import MatchingEngine
+from repro.matching.filters import TYPE_ATTR, Constraint, Filter, Op, Subscription
+from repro.transport.wire import Value
+
+
+def split_type(type_name: str) -> list[str]:
+    """Split a dotted event type into validated segments."""
+    if not type_name:
+        raise FilterError("event type must be non-empty")
+    segments = type_name.split(".")
+    for segment in segments:
+        if not segment:
+            raise FilterError(f"empty segment in event type: {type_name!r}")
+    return segments
+
+
+def is_subtype(candidate: str, ancestor: str) -> bool:
+    """True when ``candidate`` equals ``ancestor`` or extends it by segments."""
+    cand = split_type(candidate)
+    anc = split_type(ancestor)
+    return len(cand) >= len(anc) and cand[:len(anc)] == anc
+
+
+def typed_subscription(sub_id: int, subscriber: ServiceId, type_name: str,
+                       residual: Filter | None = None) -> Subscription:
+    """Build a type-conforming subscription for :class:`TypedMatcher`."""
+    constraints = [Constraint(TYPE_ATTR, Op.EQ, type_name)]
+    if residual is not None:
+        constraints.extend(residual.constraints)
+    return Subscription(sub_id, subscriber, [Filter(constraints)])
+
+
+class _TrieNode:
+    __slots__ = ("children", "entries")
+
+    def __init__(self) -> None:
+        self.children: dict[str, _TrieNode] = {}
+        # (fid, sub_id, residual filter) registered exactly at this node.
+        self.entries: list[tuple[int, int, Filter]] = []
+
+
+class TypedMatcher(MatchingEngine):
+    """Trie-indexed type-based matcher with residual content filters."""
+
+    name = "typed"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._root = _TrieNode()
+        self._next_fid = 0
+        self.type_tests = 0
+        self.residual_tests = 0
+
+    # -- registration ----------------------------------------------------
+
+    def _index(self, subscription: Subscription) -> None:
+        for filt in subscription.filters:
+            type_name, residual = self._split_filter(filt)
+            fid = self._next_fid
+            self._next_fid += 1
+            node = self._node_for(type_name, create=True)
+            node.entries.append((fid, subscription.sub_id, residual))
+
+    def _deindex(self, subscription: Subscription) -> None:
+        for node in self._walk(self._root):
+            node.entries = [e for e in node.entries
+                            if e[1] != subscription.sub_id]
+
+    def _split_filter(self, filt: Filter) -> tuple[str | None, Filter]:
+        """Separate the type constraint from the residual content filter."""
+        type_name: str | None = None
+        residual: list[Constraint] = []
+        for constraint in filt:
+            if constraint.name == TYPE_ATTR and constraint.op == Op.EQ:
+                if type_name is not None:
+                    raise FilterError(
+                        "typed subscription has two type constraints")
+                if not isinstance(constraint.value, str):
+                    raise FilterError("event types are strings")
+                type_name = constraint.value
+            else:
+                residual.append(constraint)
+        return type_name, Filter(residual)
+
+    def _node_for(self, type_name: str | None, create: bool) -> _TrieNode | None:
+        node = self._root
+        if type_name is None:
+            return node
+        for segment in split_type(type_name):
+            child = node.children.get(segment)
+            if child is None:
+                if not create:
+                    return None
+                child = _TrieNode()
+                node.children[segment] = child
+            node = child
+        return node
+
+    def _walk(self, node: _TrieNode) -> Iterator[_TrieNode]:
+        yield node
+        for child in node.children.values():
+            yield from self._walk(child)
+
+    # -- matching ------------------------------------------------------------
+
+    def _match_ids(self, attributes: Mapping[str, Value]) -> set[int]:
+        event_type = attributes.get(TYPE_ATTR)
+        matched: set[int] = set()
+        # Root entries (no type constraint) apply to every event.
+        nodes = [self._root]
+        if isinstance(event_type, str):
+            node = self._root
+            for segment in split_type(event_type):
+                node = node.children.get(segment)
+                if node is None:
+                    break
+                nodes.append(node)
+                self.type_tests += 1
+        for node in nodes:
+            for _fid, sub_id, residual in node.entries:
+                if sub_id in matched:
+                    continue
+                self.residual_tests += 1
+                if residual.matches(attributes):
+                    matched.add(sub_id)
+        return matched

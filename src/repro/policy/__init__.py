@@ -1,0 +1,52 @@
+"""Policy-based management (paper Section II-A).
+
+"Policies provide the means of specifying the adaptation strategy for
+autonomic management.  Authorisation policies specify what resources the
+components assigned to a role can access, and obligation policies
+(event-condition-action rules) specify how components/services react to
+events and interact with other components/services."
+
+This package is a compact reproduction of the Ponder approach (the paper's
+reference [4]) sized for an SMC:
+
+* :mod:`repro.policy.model` — obligation (ECA) and authorisation policy
+  objects, roles, action specifications;
+* :mod:`repro.policy.language` — a Ponder-flavoured DSL parser so policies
+  can be written as text and deployed to cells;
+* :mod:`repro.policy.engine` — the evaluation engine: obligations subscribe
+  to the event bus, conditions gate them, authorisation policies (negative
+  overriding positive) gate every action, and actions become ``smc.cmd.*``
+  events or local handler invocations;
+* :mod:`repro.policy.deployment` — "when a device is discovered and
+  granted membership of an SMC, the appropriate policies, based on device
+  type, are deployed" — triggered by New Member events.
+
+Policies can be added, removed, enabled and disabled at runtime "to change
+the behaviour of cell components without reprogramming them".
+"""
+
+from repro.policy.actions import ActionExecutor
+from repro.policy.engine import PolicyEngine
+from repro.policy.language import parse_policies
+from repro.policy.model import (
+    ActionSpec,
+    AttrRef,
+    AuthorisationPolicy,
+    ObligationPolicy,
+    PolicySet,
+    RoleTable,
+)
+from repro.policy.deployment import PolicyDeployer
+
+__all__ = [
+    "ObligationPolicy",
+    "AuthorisationPolicy",
+    "ActionSpec",
+    "AttrRef",
+    "PolicySet",
+    "RoleTable",
+    "PolicyEngine",
+    "ActionExecutor",
+    "PolicyDeployer",
+    "parse_policies",
+]

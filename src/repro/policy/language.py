@@ -1,0 +1,349 @@
+"""Ponder-lite policy language.
+
+A compact textual form of the Ponder concepts the paper relies on, so
+policies can be written, stored and deployed as text::
+
+    role nurse : nurse.pda ;
+    role monitor : sensor.hr, sensor.bp ;
+
+    inst oblig HighHeartRate {
+        on health.hr ;
+        if hr > 120 and patient = "p-17" ;
+        do notify(msg="HR high", hr=$hr) -> set_threshold(value=130) ;
+        subject monitor ;
+        target nurse ;
+    }
+
+    auth+ AllowNotify { subject monitor ; target nurse ; action notify ; }
+    auth- NoActuation { subject monitor ; target pump ; action * ; }
+
+Clauses:
+
+* ``on`` — the triggering event type: exact (``health.hr``), a subtree
+  (``health.*``), or any event (``*``);
+* ``if`` — a conjunction of attribute comparisons over the triggering
+  event (operators ``= != < <= > >= prefix suffix contains exists``);
+* ``do`` — one or more actions separated by ``->`` (Ponder's sequencing
+  operator); parameters are literals or ``$attr`` references resolved from
+  the event;
+* ``subject`` / ``target`` — role names used for authorisation checks;
+* ``auth+`` / ``auth-`` — authorisation policies; ``action *`` covers all
+  operations;
+* ``role`` — assigns device types to a role.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import PolicyParseError
+from repro.matching.filters import TYPE_ATTR, Constraint, Filter, Op
+from repro.policy.model import (
+    ActionSpec,
+    AttrRef,
+    AuthorisationPolicy,
+    ObligationPolicy,
+    PolicySet,
+)
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>[ \t\r]+)
+  | (?P<comment>//[^\n]*|\#[^\n]*)
+  | (?P<newline>\n)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<arrow>->)
+  | (?P<op><=|>=|!=|[=<>])
+  | (?P<name>[A-Za-z_][A-Za-z0-9_\-.]*)
+  | (?P<symbol>[{}();:,*$+\-])
+""", re.VERBOSE)
+
+_KEYWORDS = frozenset({
+    "inst", "oblig", "on", "if", "do", "subject", "target",
+    "auth", "role", "action", "and", "true", "false",
+    "prefix", "suffix", "contains", "exists",
+})
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind: str, text: str, line: int, column: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} {self.text!r} @{self.line}:{self.column}>"
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    line, line_start = 1, 0
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise PolicyParseError(
+                f"unexpected character {source[pos]!r}",
+                line, pos - line_start + 1)
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "newline":
+            line += 1
+            line_start = match.end()
+        elif kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, text, line, pos - line_start + 1))
+        pos = match.end()
+    tokens.append(_Token("eof", "", line, pos - line_start + 1))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _next(self) -> _Token:
+        token = self._tokens[self._index]
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text if text is not None else kind
+            raise PolicyParseError(
+                f"expected {wanted!r}, found {token.text!r}",
+                token.line, token.column)
+        return self._next()
+
+    def _accept(self, kind: str, text: str | None = None) -> _Token | None:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._next()
+        return None
+
+    def _error(self, message: str) -> PolicyParseError:
+        token = self._peek()
+        return PolicyParseError(message, token.line, token.column)
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> PolicySet:
+        result = PolicySet()
+        while self._peek().kind != "eof":
+            token = self._peek()
+            if token.kind == "name" and token.text == "inst":
+                result.obligations.append(self._parse_obligation())
+            elif token.kind == "name" and token.text in ("auth", "auth-"):
+                # "auth-" lexes as one name because names may contain
+                # hyphens; "auth+" lexes as name + symbol.
+                result.authorisations.append(self._parse_authorisation())
+            elif token.kind == "name" and token.text == "role":
+                self._parse_role(result)
+            else:
+                raise self._error(
+                    f"expected 'inst', 'auth' or 'role', found {token.text!r}")
+        return result
+
+    def _parse_obligation(self) -> ObligationPolicy:
+        self._expect("name", "inst")
+        self._expect("name", "oblig")
+        name = self._parse_identifier("policy name")
+        self._expect("symbol", "{")
+        event_filter: Filter | None = None
+        condition: Filter | None = None
+        actions: tuple[ActionSpec, ...] = ()
+        subject = "smc"
+        target = "smc"
+        while not self._accept("symbol", "}"):
+            clause = self._expect("name").text
+            if clause == "on":
+                event_filter = self._parse_event_spec()
+            elif clause == "if":
+                condition = self._parse_condition()
+            elif clause == "do":
+                actions = self._parse_actions()
+            elif clause == "subject":
+                subject = self._parse_identifier("subject role")
+            elif clause == "target":
+                target = self._parse_identifier("target role")
+            else:
+                raise self._error(f"unknown clause {clause!r}")
+            self._expect("symbol", ";")
+        if event_filter is None:
+            raise PolicyParseError(f"obligation {name!r} has no 'on' clause")
+        if not actions:
+            raise PolicyParseError(f"obligation {name!r} has no 'do' clause")
+        return ObligationPolicy(name=name, event_filter=event_filter,
+                                condition=condition, actions=actions,
+                                subject=subject, target=target)
+
+    def _parse_event_spec(self) -> Filter:
+        if self._accept("symbol", "*"):
+            return Filter([Constraint(TYPE_ATTR, Op.EXISTS)])
+        token = self._expect("name")
+        type_name = token.text
+        if type_name.endswith("."):
+            # "health.*": the name token greedily captured the dot.
+            self._expect("symbol", "*")
+            return Filter([Constraint(TYPE_ATTR, Op.PREFIX, type_name)])
+        return Filter([Constraint(TYPE_ATTR, Op.EQ, type_name)])
+
+    def _parse_condition(self) -> Filter:
+        constraints = [self._parse_comparison()]
+        while self._accept("name", "and"):
+            constraints.append(self._parse_comparison())
+        return Filter(constraints)
+
+    def _parse_comparison(self) -> Constraint:
+        attr = self._parse_identifier("attribute name")
+        token = self._peek()
+        if token.kind == "name" and token.text == "exists":
+            self._next()
+            return Constraint(attr, Op.EXISTS)
+        if token.kind == "op":
+            operator = self._next().text
+        elif token.kind == "name" and token.text in ("prefix", "suffix",
+                                                     "contains"):
+            operator = self._next().text
+        else:
+            raise self._error(f"expected a comparison operator after {attr!r}")
+        value = self._parse_literal()
+        return Constraint(attr, operator, value)
+
+    def _parse_actions(self) -> tuple[ActionSpec, ...]:
+        actions = [self._parse_action()]
+        while self._accept("arrow"):
+            actions.append(self._parse_action())
+        return tuple(actions)
+
+    def _parse_action(self) -> ActionSpec:
+        operation = self._parse_identifier("action operation")
+        self._expect("symbol", "(")
+        params: list[tuple[str, object]] = []
+        target: str | None = None
+        if not self._accept("symbol", ")"):
+            while True:
+                # Parameter names may shadow keywords ("target=..." is the
+                # idiomatic way to redirect an action), so accept any name.
+                pname = self._expect("name").text
+                self._expect("op", "=")
+                pvalue = self._parse_param_value()
+                if pname == "target":
+                    if not isinstance(pvalue, str):
+                        raise self._error("action target must be a role name")
+                    target = pvalue
+                else:
+                    params.append((pname, pvalue))
+                if self._accept("symbol", ")"):
+                    break
+                self._expect("symbol", ",")
+        return ActionSpec(operation=operation, params=tuple(params),
+                          target=target)
+
+    def _parse_param_value(self):
+        if self._accept("symbol", "$"):
+            return AttrRef(self._parse_identifier("attribute reference"))
+        return self._parse_literal()
+
+    def _parse_literal(self):
+        token = self._peek()
+        if token.kind == "number":
+            self._next()
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "string":
+            self._next()
+            return _unescape(token.text[1:-1])
+        if token.kind == "name" and token.text in ("true", "false"):
+            self._next()
+            return token.text == "true"
+        if token.kind == "name":
+            # Bare names are treated as strings (role/member identifiers).
+            self._next()
+            return token.text
+        raise self._error(f"expected a literal value, found {token.text!r}")
+
+    def _parse_identifier(self, what: str) -> str:
+        token = self._peek()
+        if token.kind != "name":
+            raise self._error(f"expected {what}, found {token.text!r}")
+        if token.text in _KEYWORDS:
+            raise self._error(f"keyword {token.text!r} cannot be used as {what}")
+        return self._next().text
+
+    def _parse_authorisation(self) -> AuthorisationPolicy:
+        keyword = self._expect("name")
+        if keyword.text == "auth-":
+            positive = False
+        elif self._accept("symbol", "+"):
+            positive = True
+        elif self._accept("symbol", "-"):
+            positive = False
+        else:
+            raise self._error("expected '+' or '-' after 'auth'")
+        name = self._parse_identifier("authorisation name")
+        self._expect("symbol", "{")
+        subject = target = None
+        operations: list[str] = []
+        while not self._accept("symbol", "}"):
+            clause = self._expect("name").text
+            if clause == "subject":
+                subject = self._parse_role_pattern()
+            elif clause == "target":
+                target = self._parse_role_pattern()
+            elif clause == "action":
+                operations = self._parse_operation_list()
+            else:
+                raise self._error(f"unknown auth clause {clause!r}")
+            self._expect("symbol", ";")
+        if subject is None or target is None or not operations:
+            raise PolicyParseError(
+                f"authorisation {name!r} needs subject, target and action")
+        return AuthorisationPolicy(name=name, positive=positive,
+                                   subject=subject, target=target,
+                                   operations=tuple(operations))
+
+    def _parse_role_pattern(self) -> str:
+        if self._accept("symbol", "*"):
+            return "*"
+        return self._parse_identifier("role name")
+
+    def _parse_operation_list(self) -> list[str]:
+        operations = [self._parse_operation()]
+        while self._accept("symbol", ","):
+            operations.append(self._parse_operation())
+        return operations
+
+    def _parse_operation(self) -> str:
+        if self._accept("symbol", "*"):
+            return "*"
+        return self._parse_identifier("operation name")
+
+    def _parse_role(self, result: PolicySet) -> None:
+        self._expect("name", "role")
+        role = self._parse_identifier("role name")
+        self._expect("symbol", ":")
+        device_types = [self._expect("name").text]
+        while self._accept("symbol", ","):
+            device_types.append(self._expect("name").text)
+        self._expect("symbol", ";")
+        result.roles.assign(role, device_types)
+
+
+def _unescape(text: str) -> str:
+    return (text.replace('\\"', '"').replace("\\n", "\n")
+            .replace("\\t", "\t").replace("\\\\", "\\"))
+
+
+def parse_policies(source: str) -> PolicySet:
+    """Parse Ponder-lite source text into a :class:`PolicySet`."""
+    return _Parser(_tokenize(source)).parse()

@@ -1,0 +1,160 @@
+"""Policy objects: obligations, authorisations, roles, actions.
+
+The model follows Ponder's split:
+
+* an **obligation policy** is an event-condition-action rule: *on* an event
+  matching a filter, *if* a condition over the event's attributes holds,
+  *do* a sequence of actions, performed by a *subject* role upon a *target*
+  role;
+* an **authorisation policy** permits (``auth+``) or forbids (``auth-``) a
+  subject role from performing named operations on a target role; negative
+  authorisations override positive ones;
+* a **role table** maps role names to the device types that fill them, so
+  policies speak of ``nurse`` and ``hr-sensor`` rather than of transport
+  addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import PolicyError
+from repro.matching.filters import Filter
+from repro.transport.wire import Value
+
+
+class AttrRef:
+    """A ``$name`` parameter: resolved from the triggering event at run time."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise PolicyError("attribute reference needs a name")
+        self.name = name
+
+    def resolve(self, attributes: Mapping[str, Value]) -> Value:
+        if self.name not in attributes:
+            raise PolicyError(
+                f"event carries no attribute {self.name!r} for $-reference")
+        return attributes[self.name]
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, AttrRef) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("AttrRef", self.name))
+
+    def __repr__(self) -> str:
+        return f"${self.name}"
+
+
+ParamValue = Value | AttrRef
+
+
+@dataclass(frozen=True)
+class ActionSpec:
+    """One action of an obligation's ``do`` clause."""
+
+    operation: str
+    params: tuple[tuple[str, ParamValue], ...] = ()
+    #: Role the action is applied to; None inherits the policy's target.
+    target: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.operation:
+            raise PolicyError("action needs an operation name")
+
+    def resolve_params(self, attributes: Mapping[str, Value]) -> dict[str, Value]:
+        """Substitute ``$attr`` references from the triggering event."""
+        resolved: dict[str, Value] = {}
+        for name, value in self.params:
+            resolved[name] = (value.resolve(attributes)
+                              if isinstance(value, AttrRef) else value)
+        return resolved
+
+
+@dataclass
+class ObligationPolicy:
+    """An event-condition-action rule."""
+
+    name: str
+    event_filter: Filter
+    actions: tuple[ActionSpec, ...]
+    condition: Filter | None = None
+    subject: str = "smc"
+    target: str = "smc"
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PolicyError("obligation policy needs a name")
+        if not self.actions:
+            raise PolicyError(f"obligation {self.name!r} has no actions")
+
+    def condition_holds(self, attributes: Mapping[str, Value]) -> bool:
+        return self.condition is None or self.condition.matches(attributes)
+
+
+@dataclass(frozen=True)
+class AuthorisationPolicy:
+    """``auth+`` / ``auth-`` over (subject role, target role, operations)."""
+
+    name: str
+    positive: bool
+    subject: str
+    target: str
+    operations: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.operations:
+            raise PolicyError(f"authorisation {self.name!r} names no operations")
+
+    def applies(self, subject: str, target: str, operation: str) -> bool:
+        return (_role_matches(self.subject, subject)
+                and _role_matches(self.target, target)
+                and ("*" in self.operations or operation in self.operations))
+
+
+def _role_matches(pattern: str, actual: str) -> bool:
+    return pattern == "*" or pattern == actual
+
+
+class RoleTable:
+    """Role name -> device types filling that role."""
+
+    def __init__(self) -> None:
+        self._roles: dict[str, set[str]] = {}
+
+    def assign(self, role: str, device_types: list[str] | set[str]) -> None:
+        self._roles.setdefault(role, set()).update(device_types)
+
+    def device_types(self, role: str) -> set[str]:
+        return set(self._roles.get(role, set()))
+
+    def roles_of(self, device_type: str) -> set[str]:
+        return {role for role, types in self._roles.items()
+                if device_type in types}
+
+    def roles(self) -> list[str]:
+        return sorted(self._roles)
+
+    def merge(self, other: "RoleTable") -> None:
+        for role in other.roles():
+            self.assign(role, other.device_types(role))
+
+
+@dataclass
+class PolicySet:
+    """The result of parsing a policy source file."""
+
+    obligations: list[ObligationPolicy] = field(default_factory=list)
+    authorisations: list[AuthorisationPolicy] = field(default_factory=list)
+    roles: RoleTable = field(default_factory=RoleTable)
+
+    def obligation(self, name: str) -> ObligationPolicy:
+        for policy in self.obligations:
+            if policy.name == name:
+                return policy
+        raise PolicyError(f"no obligation named {name!r}")

@@ -1,0 +1,59 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluated its prototype on an iPAQ PDA and a laptop joined by a
+USB-IP link.  We do not have that hardware, so the entire stack runs over a
+deterministic virtual-time kernel instead: :class:`~repro.sim.kernel.Simulator`
+drives timers and packet deliveries, :mod:`repro.sim.hosts` charges virtual
+CPU time for packet handling and data copying (the costs the paper identifies
+as dominating its measurements), and :mod:`repro.sim.radio` models the links
+(USB-IP, Bluetooth, ZigBee, WiFi) including range and loss for wireless media.
+
+The same protocol code also runs in real time over UDP via
+:class:`~repro.sim.kernel.RealtimeScheduler`; the simulation kernel exists so
+tests and benchmarks are reproducible.
+"""
+
+from repro.sim.kernel import RealtimeScheduler, Scheduler, Simulator, Timer
+from repro.sim.hosts import (
+    LAPTOP_PROFILE,
+    PDA_PROFILE,
+    SENSOR_PROFILE,
+    HostProfile,
+    NullCostMeter,
+    SimHost,
+)
+from repro.sim.radio import (
+    BLUETOOTH,
+    USB_IP,
+    WIFI_11B,
+    ZIGBEE,
+    LinkProfile,
+    Medium,
+    SimNetwork,
+)
+from repro.sim.mobility import LinearPath, StaticPosition, WalkAway
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "Scheduler",
+    "Simulator",
+    "RealtimeScheduler",
+    "Timer",
+    "HostProfile",
+    "SimHost",
+    "NullCostMeter",
+    "PDA_PROFILE",
+    "LAPTOP_PROFILE",
+    "SENSOR_PROFILE",
+    "LinkProfile",
+    "Medium",
+    "SimNetwork",
+    "USB_IP",
+    "BLUETOOTH",
+    "ZIGBEE",
+    "WIFI_11B",
+    "StaticPosition",
+    "LinearPath",
+    "WalkAway",
+    "RngRegistry",
+]

@@ -1,0 +1,90 @@
+"""Mobility models for wireless nodes.
+
+The paper's discovery service must "mask transient disconnections between
+components, e.g. a nurse leaves the room for a short period of time before
+returning" (Section II-B).  These helpers generate the position functions
+the :class:`~repro.sim.radio.SimNetwork` consults when deciding whether two
+wireless nodes are in range, letting tests and examples script exactly that
+scenario.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.errors import ConfigurationError
+from repro.sim.radio import Position
+
+
+class StaticPosition:
+    """A node that never moves."""
+
+    def __init__(self, x: float = 0.0, y: float = 0.0) -> None:
+        self._position = (float(x), float(y))
+
+    def __call__(self, _now: float) -> Position:
+        return self._position
+
+
+class LinearPath:
+    """Piecewise-linear movement through timestamped waypoints.
+
+    Before the first waypoint the node sits at the first position; after the
+    last it sits at the last.  Between waypoints the position interpolates
+    linearly, so range crossings happen at well-defined simulated times.
+    """
+
+    def __init__(self, waypoints: list[tuple[float, float, float]]) -> None:
+        if len(waypoints) < 2:
+            raise ConfigurationError("LinearPath needs at least two waypoints")
+        times = [w[0] for w in waypoints]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ConfigurationError("waypoint times must strictly increase")
+        self._times = times
+        self._points = [(float(w[1]), float(w[2])) for w in waypoints]
+
+    def __call__(self, now: float) -> Position:
+        if now <= self._times[0]:
+            return self._points[0]
+        if now >= self._times[-1]:
+            return self._points[-1]
+        index = bisect_right(self._times, now)
+        t0, t1 = self._times[index - 1], self._times[index]
+        (x0, y0), (x1, y1) = self._points[index - 1], self._points[index]
+        frac = (now - t0) / (t1 - t0)
+        return (x0 + (x1 - x0) * frac, y0 + (y1 - y0) * frac)
+
+
+class WalkAway:
+    """The paper's nurse scenario: in place, walk away, walk back.
+
+    The node sits at ``home`` until ``t_leave``, walks out to ``distance``
+    metres over ``walk_s`` seconds, waits there, and returns so that it is
+    home again at ``t_return``.
+    """
+
+    def __init__(self, t_leave: float, t_return: float,
+                 distance: float = 100.0, walk_s: float = 5.0,
+                 home: Position = (0.0, 0.0)) -> None:
+        if t_return <= t_leave:
+            raise ConfigurationError("t_return must be after t_leave")
+        span = t_return - t_leave
+        walk = min(walk_s, span / 2.0)
+        hx, hy = home
+        if walk >= span / 2.0:
+            # No dwell time: walk straight out and straight back.
+            self._path = LinearPath([
+                (t_leave, hx, hy),
+                (t_leave + span / 2.0, hx + distance, hy),
+                (t_return, hx, hy),
+            ])
+        else:
+            self._path = LinearPath([
+                (t_leave, hx, hy),
+                (t_leave + walk, hx + distance, hy),
+                (t_return - walk, hx + distance, hy),
+                (t_return, hx, hy),
+            ])
+
+    def __call__(self, now: float) -> Position:
+        return self._path(now)

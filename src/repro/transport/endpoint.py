@@ -1,0 +1,212 @@
+"""Packet demultiplexing for one SMC node.
+
+A :class:`PacketEndpoint` owns a transport and splits incoming datagrams
+into two planes, mirroring the paper's separation of concerns between the
+discovery protocol and the event bus:
+
+* **control plane** — discovery packet types (BEACON, ANNOUNCE, JOIN_*,
+  HEARTBEAT, LEAVE) are handed, unsequenced, to a registered control
+  handler.  The discovery protocol "does not use the event bus" and
+  tolerates datagram loss by design.
+* **data plane** — DATA/ACK/RAW packets are routed to the per-peer
+  :class:`~repro.transport.reliability.ReliableChannel`, created on demand,
+  which delivers ordered, duplicate-free payloads upward.
+
+The endpoint also learns the address of every service id it hears from, so
+upper layers can address peers by id alone.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import AddressError, PacketError
+from repro.ids import ServiceId
+from repro.sim.kernel import Scheduler
+from repro.transport.base import Address, Transport
+from repro.transport.packets import Packet, PacketType
+from repro.transport.reliability import ReliableChannel
+
+ControlHandler = Callable[[Packet, Address], None]
+PayloadHandler = Callable[[ServiceId, bytes], None]
+
+_CONTROL_TYPES = frozenset({
+    PacketType.BEACON, PacketType.ANNOUNCE, PacketType.JOIN_REQ,
+    PacketType.JOIN_ACK, PacketType.JOIN_NAK, PacketType.HEARTBEAT,
+    PacketType.LEAVE,
+})
+
+
+class PacketEndpoint:
+    """Demultiplexes one transport into control and reliable-data planes."""
+
+    def __init__(self, transport: Transport, scheduler: Scheduler,
+                 *, window: int = 1, rto_initial: float = 0.05,
+                 rto_max: float = 2.0, max_retries: int | None = None) -> None:
+        self.transport = transport
+        self.scheduler = scheduler
+        self._window = window
+        self._rto_initial = rto_initial
+        self._rto_max = rto_max
+        self._max_retries = max_retries
+        self._channels: dict[Address, ReliableChannel] = {}
+        self._peer_addresses: dict[ServiceId, Address] = {}
+        self._control_handler: ControlHandler | None = None
+        self._payload_handler: PayloadHandler | None = None
+        self._give_up_handler: Callable[[ServiceId | None, bytes], None] | None = None
+        self.decode_errors = 0
+        transport.set_receiver(self._on_datagram)
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def service_id(self) -> ServiceId:
+        return self.transport.service_id
+
+    @property
+    def local_address(self) -> Address:
+        return self.transport.local_address
+
+    # -- wiring ------------------------------------------------------------
+
+    def set_control_handler(self, handler: ControlHandler | None) -> None:
+        """Register the discovery-plane packet handler."""
+        self._control_handler = handler
+
+    def set_payload_handler(self, handler: PayloadHandler | None) -> None:
+        """Register the ordered-payload upcall: ``handler(peer_id, bytes)``."""
+        self._payload_handler = handler
+
+    def set_give_up_handler(
+            self, handler: Callable[[ServiceId | None, bytes], None] | None) -> None:
+        """Register the callback for payloads abandoned after max retries."""
+        self._give_up_handler = handler
+
+    # -- sending --------------------------------------------------------------
+
+    def send_reliable(self, dest: Address, payload: bytes) -> None:
+        """Send ``payload`` with ack/retransmit/ordering to ``dest``."""
+        self._channel(dest).send(payload)
+
+    def send_raw(self, dest: Address, payload: bytes) -> None:
+        """Send ``payload`` once, unsequenced and unacknowledged."""
+        self._channel(dest).send(payload, unreliable=True)
+
+    def send_control(self, dest: Address, ptype: PacketType,
+                     payload: bytes = b"") -> None:
+        """Send a discovery-plane packet to one peer."""
+        self._check_control(ptype)
+        packet = Packet(type=ptype, sender=self.service_id, payload=payload)
+        self.transport.send(dest, packet.encode())
+
+    def broadcast_control(self, ptype: PacketType, payload: bytes = b"") -> None:
+        """Broadcast a discovery-plane packet to the whole domain."""
+        self._check_control(ptype)
+        packet = Packet(type=ptype, sender=self.service_id, payload=payload)
+        self.transport.broadcast(packet.encode())
+
+    # -- peer bookkeeping -------------------------------------------------
+
+    def address_of(self, peer: ServiceId) -> Address:
+        """Last known transport address for ``peer``."""
+        try:
+            return self._peer_addresses[peer]
+        except KeyError:
+            raise AddressError(f"no known address for {peer}") from None
+
+    def knows_peer(self, peer: ServiceId) -> bool:
+        return peer in self._peer_addresses
+
+    def learn_peer(self, peer: ServiceId, address: Address) -> None:
+        """Record ``peer``'s address without waiting to hear a packet.
+
+        Used when another subsystem (e.g. a New Member event) already knows
+        where the peer lives.
+        """
+        self._peer_addresses[peer] = address
+
+    def channel_for(self, peer: ServiceId) -> ReliableChannel:
+        """The reliable channel to ``peer`` (created if absent)."""
+        return self._channel(self.address_of(peer))
+
+    def close_channel(self, peer: ServiceId) -> int:
+        """Destroy the channel to ``peer``, dropping any queued payloads.
+
+        Returns the number of undelivered payloads discarded — the queue a
+        proxy destroys when its member is purged.
+        """
+        address = self._peer_addresses.get(peer)
+        if address is None:
+            return 0
+        return self.reset_channel_to(address)
+
+    def reset_channel_to(self, address: Address) -> int:
+        """Destroy any channel state for ``address``; next send starts
+        fresh at sequence 1.
+
+        Both ends of a membership session must reset together: a device
+        calls this when a JOIN_ACK announces a new session, mirroring the
+        fresh channel the cell created with its new proxy.  Returns the
+        number of queued payloads discarded.
+        """
+        channel = self._channels.pop(address, None)
+        if channel is None:
+            return 0
+        dropped = channel.unacked_count()
+        channel.close()
+        return dropped
+
+    def forget_peer(self, peer: ServiceId) -> None:
+        """Drop the channel and the learned address for ``peer``."""
+        self.close_channel(peer)
+        self._peer_addresses.pop(peer, None)
+
+    def close(self) -> None:
+        for channel in self._channels.values():
+            channel.close()
+        self._channels.clear()
+        self.transport.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _check_control(self, ptype: PacketType) -> None:
+        if ptype not in _CONTROL_TYPES:
+            raise PacketError(f"{ptype.name} is not a control packet type")
+
+    def _channel(self, address: Address) -> ReliableChannel:
+        channel = self._channels.get(address)
+        if channel is None or channel.closed:
+            channel = ReliableChannel(
+                self.transport, self.scheduler, address,
+                self._on_channel_deliver, window=self._window,
+                rto_initial=self._rto_initial, rto_max=self._rto_max,
+                max_retries=self._max_retries,
+                on_give_up=lambda payload, a=address: self._on_give_up(a, payload))
+            self._channels[address] = channel
+        return channel
+
+    def _on_channel_deliver(self, peer: ServiceId, payload: bytes) -> None:
+        if self._payload_handler is not None:
+            self._payload_handler(peer, payload)
+
+    def _on_give_up(self, address: Address, payload: bytes) -> None:
+        if self._give_up_handler is None:
+            return
+        peer_id = next((pid for pid, addr in self._peer_addresses.items()
+                        if addr == address), None)
+        self._give_up_handler(peer_id, payload)
+
+    def _on_datagram(self, src: Address, datagram: bytes) -> None:
+        try:
+            packet = Packet.decode(datagram)
+        except PacketError:
+            self.decode_errors += 1
+            return
+        if packet.sender == self.service_id:
+            return          # broadcast echo of our own traffic
+        self._peer_addresses[packet.sender] = src
+        if packet.type in _CONTROL_TYPES:
+            if self._control_handler is not None:
+                self._control_handler(packet, src)
+            return
+        self._channel(src).handle_packet(packet)

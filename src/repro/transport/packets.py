@@ -1,0 +1,128 @@
+"""Datagram framing.
+
+Every datagram the SMC exchanges is one :class:`Packet`: a fixed 25-byte
+header followed by an opaque payload.  The header carries the 48-bit sender
+service id (paper Section IV), a sequence number and a cumulative
+acknowledgement for the reliability layer, and a CRC-32 over the whole
+packet so corrupted datagrams are dropped rather than misparsed.
+
+Layout (big-endian)::
+
+    0        2     3     4      5          11       15       19         21      25
+    | magic  | ver | typ | flag | sender6  | seq4   | ack4   | paylen2  | crc4  | payload...
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import PacketError
+from repro.ids import ServiceId
+
+MAGIC = b"\xa5\x5e"
+VERSION = 1
+
+_HEADER = struct.Struct("!2sBBB6sIIHI")
+HEADER_SIZE = _HEADER.size            # 25 bytes
+MAX_PAYLOAD = 0xFFFF
+
+
+class PacketType(enum.IntEnum):
+    """Kinds of datagram the SMC exchanges."""
+
+    DATA = 1        # reliable, sequenced payload (bus protocol inside)
+    ACK = 2         # cumulative acknowledgement, no payload
+    RAW = 3         # fire-and-forget payload (unacknowledged sensors)
+    BEACON = 4      # discovery: periodic presence broadcast by the SMC core
+    ANNOUNCE = 5    # discovery: device advertising itself
+    JOIN_REQ = 6    # discovery: device requesting admission
+    JOIN_ACK = 7    # discovery: admission granted
+    JOIN_NAK = 8    # discovery: admission refused (auth failure)
+    HEARTBEAT = 9   # discovery: member liveness refresh
+    LEAVE = 10      # discovery: polite departure
+
+
+class PacketFlags(enum.IntFlag):
+    """Header flag bits."""
+
+    NONE = 0
+    #: Payload is a fragment of a larger message (reserved; the simulated
+    #: network models IP-level fragmentation itself).
+    FRAGMENT = 1
+    #: Receiver should not acknowledge (paper: a temperature sensor "may
+    #: periodically transmit data and not require any acknowledgement").
+    NO_ACK = 2
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One parsed datagram."""
+
+    type: PacketType
+    sender: ServiceId
+    seq: int = 0
+    ack: int = 0
+    payload: bytes = b""
+    flags: PacketFlags = PacketFlags.NONE
+    version: int = field(default=VERSION, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.payload) > MAX_PAYLOAD:
+            raise PacketError(f"payload too large: {len(self.payload)} bytes")
+        if not 0 <= self.seq <= 0xFFFFFFFF:
+            raise PacketError(f"seq out of range: {self.seq}")
+        if not 0 <= self.ack <= 0xFFFFFFFF:
+            raise PacketError(f"ack out of range: {self.ack}")
+
+    def encode(self) -> bytes:
+        """Serialise to wire bytes, computing the checksum."""
+        header_no_crc = _HEADER.pack(
+            MAGIC, self.version, int(self.type), int(self.flags),
+            self.sender.to_bytes48(), self.seq, self.ack,
+            len(self.payload), 0)
+        crc = zlib.crc32(header_no_crc + self.payload) & 0xFFFFFFFF
+        header = _HEADER.pack(
+            MAGIC, self.version, int(self.type), int(self.flags),
+            self.sender.to_bytes48(), self.seq, self.ack,
+            len(self.payload), crc)
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, datagram: bytes) -> "Packet":
+        """Parse wire bytes, verifying magic, length and checksum."""
+        if len(datagram) < HEADER_SIZE:
+            raise PacketError(f"datagram shorter than header: {len(datagram)}")
+        (magic, version, ptype, flags, sender6, seq, ack,
+         paylen, crc) = _HEADER.unpack_from(datagram)
+        if magic != MAGIC:
+            raise PacketError(f"bad magic: {magic!r}")
+        if version != VERSION:
+            raise PacketError(f"unsupported packet version: {version}")
+        if len(datagram) != HEADER_SIZE + paylen:
+            raise PacketError(
+                f"length mismatch: header says {paylen}, "
+                f"datagram carries {len(datagram) - HEADER_SIZE}")
+        payload = datagram[HEADER_SIZE:]
+        header_no_crc = _HEADER.pack(magic, version, ptype, flags, sender6,
+                                     seq, ack, paylen, 0)
+        expected = zlib.crc32(header_no_crc + payload) & 0xFFFFFFFF
+        if crc != expected:
+            raise PacketError(f"checksum mismatch: {crc:#010x} != {expected:#010x}")
+        try:
+            packet_type = PacketType(ptype)
+        except ValueError:
+            raise PacketError(f"unknown packet type: {ptype}") from None
+        return cls(type=packet_type, sender=ServiceId.from_bytes48(sender6),
+                   seq=seq, ack=ack, payload=payload,
+                   flags=PacketFlags(flags), version=version)
+
+    @property
+    def wire_size(self) -> int:
+        return HEADER_SIZE + len(self.payload)
+
+    def __repr__(self) -> str:
+        return (f"<Packet {self.type.name} from={self.sender} seq={self.seq} "
+                f"ack={self.ack} len={len(self.payload)}>")

@@ -1,0 +1,264 @@
+"""Acknowledged, ordered, duplicate-free channel over datagrams.
+
+The paper's delivery semantics (Section II-C) require that management
+events are delivered to each interested member *exactly once while it
+remains a member*, and *in per-sender order*.  Datagrams give neither, so
+each hop (publisher→bus, bus→subscriber) runs one :class:`ReliableChannel`:
+
+* every DATA packet carries a sequence number and is retransmitted with
+  exponential backoff until acknowledged ("events are always acknowledged
+  when passing from publisher to event bus, and from the event bus to each
+  subscriber, so that events cannot be lost in transit");
+* the receiver delivers in sequence order, buffering out-of-order arrivals
+  and re-acknowledging duplicates, so the upper layer sees an in-order,
+  duplicate-free byte-message stream;
+* acknowledgements are cumulative and also piggy-backed on reverse DATA
+  traffic.
+
+By default the channel retries forever: the paper queues events for
+unavailable members "which have not yet been declared to have left the
+SMC"; abandoning the queue is the proxy's job, on a Purge Member event,
+via :meth:`close`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError, PacketError
+from repro.ids import ServiceId
+from repro.sim.kernel import Scheduler, Timer
+from repro.transport.base import Address, Transport
+from repro.transport.packets import Packet, PacketFlags, PacketType
+
+DeliverCallback = Callable[[ServiceId, bytes], None]
+
+_SEQ_MOD = 1 << 32
+
+
+@dataclass
+class ChannelStats:
+    """Per-channel counters."""
+
+    sent: int = 0
+    delivered: int = 0
+    retransmissions: int = 0
+    duplicates: int = 0
+    out_of_order: int = 0
+    acks_sent: int = 0
+    give_ups: int = 0
+
+
+class ReliableChannel:
+    """One direction-pair of the reliable protocol with a single peer."""
+
+    def __init__(self, transport: Transport, scheduler: Scheduler,
+                 peer_address: Address, deliver: DeliverCallback,
+                 *, window: int = 1, rto_initial: float = 0.05,
+                 rto_max: float = 2.0, max_retries: int | None = None,
+                 reorder_buffer: int = 64,
+                 on_give_up: Callable[[bytes], None] | None = None) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if rto_initial <= 0 or rto_max < rto_initial:
+            raise ConfigurationError(
+                f"bad RTO bounds: initial={rto_initial}, max={rto_max}")
+        self._transport = transport
+        self._scheduler = scheduler
+        self._peer_address = peer_address
+        self._deliver = deliver
+        self._window = window
+        self._rto_initial = rto_initial
+        self._rto_max = rto_max
+        self._max_retries = max_retries
+        self._reorder_limit = reorder_buffer
+        self._on_give_up = on_give_up
+
+        # Send side.
+        self._next_seq = 1
+        self._pending: deque[bytes] = deque()          # not yet transmitted
+        self._in_flight: dict[int, bytes] = {}         # seq -> payload
+        self._retries: dict[int, int] = {}
+        self._retransmit_timer: Timer | None = None
+        self._rto = rto_initial
+
+        # Receive side.
+        self._expected_seq = 1
+        self._reorder: dict[int, bytes] = {}
+        self._peer_id: ServiceId | None = None
+
+        self._closed = False
+        self.stats = ChannelStats()
+
+    # -- public API -----------------------------------------------------
+
+    @property
+    def peer_address(self) -> Address:
+        return self._peer_address
+
+    @property
+    def peer_id(self) -> ServiceId | None:
+        """The peer's service id, learned from its first packet."""
+        return self._peer_id
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def send(self, payload: bytes, *, unreliable: bool = False) -> None:
+        """Queue ``payload`` for ordered, acknowledged delivery.
+
+        With ``unreliable=True`` the payload is sent once as a RAW packet
+        with no sequencing — the mode a fire-and-forget sensor uses.
+        """
+        if self._closed:
+            return
+        if unreliable:
+            packet = Packet(type=PacketType.RAW,
+                            sender=self._transport.service_id,
+                            ack=self._last_in_order(),
+                            flags=PacketFlags.NO_ACK, payload=payload)
+            self._transport.send(self._peer_address, packet.encode())
+            return
+        self._pending.append(payload)
+        self._pump()
+
+    def unacked_count(self) -> int:
+        """Messages queued or in flight, awaiting acknowledgement."""
+        return len(self._pending) + len(self._in_flight)
+
+    def handle_packet(self, packet: Packet) -> None:
+        """Process an incoming DATA/ACK/RAW packet from this channel's peer."""
+        if self._closed:
+            return
+        self._peer_id = packet.sender
+        # Every packet type may carry a piggy-backed cumulative ack.
+        self._process_ack(packet.ack)
+        if packet.type == PacketType.ACK:
+            return
+        if packet.type == PacketType.RAW:
+            self._deliver(packet.sender, packet.payload)
+            return
+        if packet.type == PacketType.DATA:
+            self._process_data(packet)
+            return
+        raise PacketError(f"channel cannot handle packet type {packet.type.name}")
+
+    def close(self) -> None:
+        """Drop all queued state.  Used when the peer is purged from the SMC."""
+        self._closed = True
+        self._pending.clear()
+        self._in_flight.clear()
+        self._retries.clear()
+        self._reorder.clear()
+        if self._retransmit_timer is not None:
+            self._retransmit_timer.cancel()
+            self._retransmit_timer = None
+
+    # -- send machinery ----------------------------------------------------
+
+    def _pump(self) -> None:
+        while self._pending and len(self._in_flight) < self._window:
+            payload = self._pending.popleft()
+            seq = self._next_seq
+            self._next_seq = (self._next_seq + 1) % _SEQ_MOD or 1
+            self._in_flight[seq] = payload
+            self._retries[seq] = 0
+            self._transmit(seq, payload)
+        self._arm_retransmit()
+
+    def _transmit(self, seq: int, payload: bytes) -> None:
+        packet = Packet(type=PacketType.DATA,
+                        sender=self._transport.service_id,
+                        seq=seq, ack=self._last_in_order(), payload=payload)
+        self._transport.send(self._peer_address, packet.encode())
+        self.stats.sent += 1
+
+    def _arm_retransmit(self) -> None:
+        if self._retransmit_timer is not None:
+            self._retransmit_timer.cancel()
+            self._retransmit_timer = None
+        if self._in_flight:
+            self._retransmit_timer = self._scheduler.call_later(
+                self._rto, self._on_retransmit_timeout)
+
+    def _on_retransmit_timeout(self) -> None:
+        self._retransmit_timer = None
+        if self._closed or not self._in_flight:
+            return
+        self._rto = min(self._rto * 2.0, self._rto_max)
+        for seq in sorted(self._in_flight):
+            self._retries[seq] += 1
+            if self._max_retries is not None and self._retries[seq] > self._max_retries:
+                # Skipping one message would permanently stall the peer's
+                # in-order delivery, so exhausting retries means the peer is
+                # unreachable: surrender every queued payload and close.
+                self._give_up()
+                return
+            self._transmit(seq, self._in_flight[seq])
+            self.stats.retransmissions += 1
+        self._pump()
+
+    def _give_up(self) -> None:
+        undelivered = [self._in_flight[seq] for seq in sorted(self._in_flight)]
+        undelivered.extend(self._pending)
+        self.stats.give_ups += len(undelivered)
+        self.close()
+        if self._on_give_up is not None:
+            for payload in undelivered:
+                self._on_give_up(payload)
+
+    def _process_ack(self, ack: int) -> None:
+        if ack == 0:
+            return
+        advanced = False
+        for seq in list(self._in_flight):
+            if seq <= ack:
+                del self._in_flight[seq]
+                self._retries.pop(seq, None)
+                advanced = True
+        if advanced:
+            self._rto = self._rto_initial
+            self._pump()
+
+    # -- receive machinery ---------------------------------------------------
+
+    def _process_data(self, packet: Packet) -> None:
+        seq = packet.seq
+        if seq < self._expected_seq:
+            self.stats.duplicates += 1
+            self._send_ack()
+            return
+        if seq > self._expected_seq:
+            self.stats.out_of_order += 1
+            if len(self._reorder) < self._reorder_limit:
+                self._reorder[seq] = packet.payload
+            self._send_ack()
+            return
+        self._deliver_in_order(packet.sender, packet.payload)
+        while self._expected_seq in self._reorder:
+            self._deliver_in_order(packet.sender,
+                                   self._reorder.pop(self._expected_seq))
+        self._send_ack()
+
+    def _deliver_in_order(self, sender: ServiceId, payload: bytes) -> None:
+        self._expected_seq = (self._expected_seq + 1) % _SEQ_MOD or 1
+        self.stats.delivered += 1
+        self._deliver(sender, payload)
+
+    def _send_ack(self) -> None:
+        packet = Packet(type=PacketType.ACK,
+                        sender=self._transport.service_id,
+                        ack=self._last_in_order())
+        self._transport.send(self._peer_address, packet.encode())
+        self.stats.acks_sent += 1
+
+    def _last_in_order(self) -> int:
+        return (self._expected_seq - 1) % _SEQ_MOD
+
+    def __repr__(self) -> str:
+        return (f"<ReliableChannel peer={self._peer_address!r} "
+                f"in_flight={len(self._in_flight)} pending={len(self._pending)} "
+                f"expected={self._expected_seq}>")

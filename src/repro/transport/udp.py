@@ -1,0 +1,140 @@
+"""Real UDP datagram transport.
+
+This is the transport the paper's prototype used: "Sockets are opened
+within the Transport constructor, and subsequent send() and recv() calls
+are wrappers around send and receive calls over these sockets."
+
+As in the prototype, the socket is *not* bound to a fixed port — "the
+operating system is free to choose the port number", and the 48-bit service
+id is derived from the resulting address+port.  Broadcast traffic for
+discovery is sent to a well-known port; on loopback test networks (where
+real broadcast is unavailable) a peer list stands in for the broadcast
+domain.
+
+The transport is non-blocking and integrates with
+:class:`~repro.sim.kernel.RealtimeScheduler` as a pollable; it can also be
+driven manually with :meth:`poll` for single-threaded integration tests.
+"""
+
+from __future__ import annotations
+
+import errno
+import socket
+
+from repro.errors import AddressError, TransportError
+from repro.ids import service_id_from_socket
+from repro.transport.base import Transport
+
+#: "Broadcast traffic ... is delivered on an arbitrarily chosen port number
+#: known by services" (Section IV).
+DEFAULT_DISCOVERY_PORT = 41200
+
+_RECV_BUFFER = 65535
+
+
+class UdpTransport(Transport):
+    """Datagram transport over a real UDP socket."""
+
+    def __init__(self, bind_host: str = "127.0.0.1", bind_port: int = 0,
+                 discovery_port: int = DEFAULT_DISCOVERY_PORT,
+                 listen_for_broadcast: bool = False) -> None:
+        self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._socket.setblocking(False)
+        try:
+            self._socket.bind((bind_host, bind_port))
+        except OSError as exc:
+            self._socket.close()
+            raise TransportError(f"cannot bind {bind_host}:{bind_port}: {exc}") from exc
+        host, port = self._socket.getsockname()
+        super().__init__(service_id=service_id_from_socket(host, port),
+                         local_address=(host, port))
+        self._discovery_port = discovery_port
+        self._broadcast_peers: list[tuple[str, int]] = []
+        self._broadcast_socket: socket.socket | None = None
+        if listen_for_broadcast:
+            self._broadcast_socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            self._broadcast_socket.setblocking(False)
+            self._broadcast_socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            try:
+                self._broadcast_socket.bind((bind_host, discovery_port))
+            except OSError as exc:
+                self._broadcast_socket.close()
+                self._socket.close()
+                raise TransportError(
+                    f"cannot bind discovery port {discovery_port}: {exc}") from exc
+
+    # -- broadcast domain ---------------------------------------------------
+
+    def set_broadcast_peers(self, peers: list[tuple[str, int]]) -> None:
+        """Configure the stand-in broadcast domain (loopback networks)."""
+        self._broadcast_peers = list(peers)
+
+    @property
+    def discovery_port(self) -> int:
+        return self._discovery_port
+
+    # -- Transport hooks -------------------------------------------------
+
+    def _send_datagram(self, dest, payload: bytes) -> None:
+        if not (isinstance(dest, tuple) and len(dest) == 2):
+            raise AddressError(f"UDP addresses are (host, port), got {dest!r}")
+        try:
+            self._socket.sendto(payload, dest)
+        except OSError as exc:
+            # Datagram semantics: full buffers mean silent loss, like a
+            # congested link; anything else is a real error.
+            if exc.errno not in (errno.EAGAIN, errno.EWOULDBLOCK, errno.ENOBUFS):
+                raise TransportError(f"sendto {dest} failed: {exc}") from exc
+
+    def _broadcast_datagram(self, payload: bytes) -> None:
+        if self._broadcast_peers:
+            for peer in self._broadcast_peers:
+                self._send_datagram(peer, payload)
+            return
+        try:
+            self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_BROADCAST, 1)
+            self._socket.sendto(payload, ("<broadcast>", self._discovery_port))
+        except OSError as exc:
+            raise TransportError(f"broadcast failed: {exc}") from exc
+
+    # -- polling --------------------------------------------------------
+
+    def fileno(self) -> int:
+        """Unicast socket fd (RealtimeScheduler pollable protocol)."""
+        return self._socket.fileno()
+
+    def on_readable(self) -> None:
+        """Drain the unicast socket (RealtimeScheduler pollable protocol)."""
+        self._drain(self._socket)
+
+    def poll(self) -> int:
+        """Drain both sockets; returns the number of datagrams delivered.
+
+        For single-threaded tests that drive the transport without a
+        scheduler loop.
+        """
+        count = self._drain(self._socket)
+        if self._broadcast_socket is not None:
+            count += self._drain(self._broadcast_socket)
+        return count
+
+    def _drain(self, sock: socket.socket) -> int:
+        count = 0
+        while True:
+            try:
+                payload, src = sock.recvfrom(_RECV_BUFFER)
+            except BlockingIOError:
+                return count
+            except OSError as exc:
+                if exc.errno in (errno.EAGAIN, errno.EWOULDBLOCK):
+                    return count
+                raise TransportError(f"recvfrom failed: {exc}") from exc
+            self._deliver(src, payload)
+            count += 1
+
+    def close(self) -> None:
+        if not self.closed:
+            self._socket.close()
+            if self._broadcast_socket is not None:
+                self._broadcast_socket.close()
+        super().close()

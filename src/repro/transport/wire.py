@@ -1,0 +1,175 @@
+"""Binary value codec shared by packets, events, filters and policies.
+
+This is a small hand-rolled TLV (tag-length-value) format.  The paper makes
+a point of keeping byte arrays at the transport boundary so that nothing
+depends on Java serialisation; in the same spirit nothing here depends on
+``pickle`` — every value that crosses a network path is encoded explicitly.
+
+Supported value types mirror what sensors and management components need:
+``bool``, ``int`` (arbitrary precision via zig-zag varint), ``float``
+(IEEE-754 double), ``str`` (UTF-8) and ``bytes``.
+
+All multi-byte fixed-width fields are big-endian ("network order").
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import CodecError
+
+Value = bool | int | float | str | bytes
+
+_TAG_BOOL = 1
+_TAG_INT = 2
+_TAG_FLOAT = 3
+_TAG_STR = 4
+_TAG_BYTES = 5
+
+_MAX_BLOB = 0xFFFF          # single string/bytes value cap (64 KiB)
+_MAX_ATTRS = 0xFFFF
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode an unsigned integer as LEB128."""
+    if value < 0:
+        raise CodecError(f"varint requires a non-negative int, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(buf: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a LEB128 unsigned integer; returns (value, new offset)."""
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(buf):
+            raise CodecError("truncated varint")
+        if shift > 70:
+            raise CodecError("varint too long")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed int onto an unsigned one (small magnitudes stay small)."""
+    return (value << 1) ^ (value >> (value.bit_length() + 1)) if value < 0 else value << 1
+
+
+def zigzag_decode(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+def encode_value(value: Value) -> bytes:
+    """Encode one tagged value."""
+    # bool must be tested before int: bool is an int subclass.
+    if isinstance(value, bool):
+        return bytes((_TAG_BOOL, 1 if value else 0))
+    if isinstance(value, int):
+        return bytes((_TAG_INT,)) + encode_varint(zigzag_encode(value))
+    if isinstance(value, float):
+        return bytes((_TAG_FLOAT,)) + struct.pack("!d", value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        if len(raw) > _MAX_BLOB:
+            raise CodecError(f"string too long for wire: {len(raw)} bytes")
+        return bytes((_TAG_STR,)) + encode_varint(len(raw)) + raw
+    if isinstance(value, bytes):
+        if len(value) > _MAX_BLOB:
+            raise CodecError(f"bytes too long for wire: {len(value)} bytes")
+        return bytes((_TAG_BYTES,)) + encode_varint(len(value)) + value
+    raise CodecError(f"unsupported value type: {type(value).__name__}")
+
+
+def decode_value(buf: bytes, offset: int = 0) -> tuple[Value, int]:
+    """Decode one tagged value; returns (value, new offset)."""
+    if offset >= len(buf):
+        raise CodecError("truncated value: missing tag")
+    tag = buf[offset]
+    pos = offset + 1
+    if tag == _TAG_BOOL:
+        if pos >= len(buf):
+            raise CodecError("truncated bool")
+        raw = buf[pos]
+        if raw not in (0, 1):
+            raise CodecError(f"invalid bool byte: {raw}")
+        return bool(raw), pos + 1
+    if tag == _TAG_INT:
+        encoded, pos = decode_varint(buf, pos)
+        return zigzag_decode(encoded), pos
+    if tag == _TAG_FLOAT:
+        if pos + 8 > len(buf):
+            raise CodecError("truncated float")
+        (value,) = struct.unpack_from("!d", buf, pos)
+        return value, pos + 8
+    if tag == _TAG_STR:
+        length, pos = decode_varint(buf, pos)
+        if pos + length > len(buf):
+            raise CodecError("truncated string")
+        try:
+            return buf[pos:pos + length].decode("utf-8"), pos + length
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"invalid UTF-8 in string value: {exc}") from exc
+    if tag == _TAG_BYTES:
+        length, pos = decode_varint(buf, pos)
+        if pos + length > len(buf):
+            raise CodecError("truncated bytes")
+        return bytes(buf[pos:pos + length]), pos + length
+    raise CodecError(f"unknown value tag: {tag}")
+
+
+def encode_str(text: str) -> bytes:
+    """Encode a bare length-prefixed UTF-8 string (no tag)."""
+    raw = text.encode("utf-8")
+    if len(raw) > _MAX_BLOB:
+        raise CodecError(f"string too long for wire: {len(raw)} bytes")
+    return encode_varint(len(raw)) + raw
+
+
+def decode_str(buf: bytes, offset: int = 0) -> tuple[str, int]:
+    length, pos = decode_varint(buf, offset)
+    if pos + length > len(buf):
+        raise CodecError("truncated string")
+    try:
+        return buf[pos:pos + length].decode("utf-8"), pos + length
+    except UnicodeDecodeError as exc:
+        raise CodecError(f"invalid UTF-8: {exc}") from exc
+
+
+def encode_attr_map(attributes: dict[str, Value]) -> bytes:
+    """Encode an attribute dictionary with a stable (sorted) key order."""
+    if len(attributes) > _MAX_ATTRS:
+        raise CodecError(f"too many attributes: {len(attributes)}")
+    parts = [encode_varint(len(attributes))]
+    for name in sorted(attributes):
+        if not name:
+            raise CodecError("attribute names must be non-empty")
+        parts.append(encode_str(name))
+        parts.append(encode_value(attributes[name]))
+    return b"".join(parts)
+
+
+def decode_attr_map(buf: bytes, offset: int = 0) -> tuple[dict[str, Value], int]:
+    count, pos = decode_varint(buf, offset)
+    if count > _MAX_ATTRS:
+        raise CodecError(f"attribute count too large: {count}")
+    attributes: dict[str, Value] = {}
+    for _ in range(count):
+        name, pos = decode_str(buf, pos)
+        value, pos = decode_value(buf, pos)
+        if name in attributes:
+            raise CodecError(f"duplicate attribute on wire: {name!r}")
+        attributes[name] = value
+    return attributes, pos

@@ -1,0 +1,109 @@
+"""Smoke tests for the benchmark harness (tiny parameter versions).
+
+The full experiments run under ``benchmarks/``; these tests check the
+harness machinery itself — testbed assembly, measurement plumbing,
+reporting — with minimal workloads so the unit suite stays fast.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    run_fig4a,
+    run_fig4b,
+    run_link_baseline,
+)
+from repro.bench.reporting import format_series_table, format_table, to_csv
+from repro.bench.testbed import BENCH_EVENT_TYPE, build_paper_testbed
+from repro.bench.workloads import ban_monitoring_mix, payload_attributes
+from repro.sim.rng import RngRegistry
+
+
+class TestTestbed:
+    def test_builds_and_joins(self):
+        testbed = build_paper_testbed()
+        assert len(testbed.cell.bus.members()) == 2
+        assert testbed.publisher.bus_address is not None
+
+    def test_roundtrip_through_the_bus(self):
+        testbed = build_paper_testbed()
+        testbed.publisher.publish(BENCH_EVENT_TYPE,
+                                  payload_attributes(100, 0))
+        testbed.drain(quiet_period_s=1.0, max_s=30.0)
+        assert len(testbed.received) == 1
+        assert testbed.received.times[0] > 0
+
+    def test_extra_subscribers(self):
+        testbed = build_paper_testbed(extra_subscribers=2)
+        testbed.publisher.publish(BENCH_EVENT_TYPE,
+                                  payload_attributes(10, 0))
+        testbed.drain(quiet_period_s=1.0, max_s=30.0)
+        assert len(testbed.received) == 3       # one per subscriber
+
+    def test_deterministic_for_seed(self):
+        def once():
+            testbed = build_paper_testbed(seed=5)
+            testbed.publisher.publish(BENCH_EVENT_TYPE,
+                                      payload_attributes(500, 0))
+            testbed.drain(quiet_period_s=1.0, max_s=30.0)
+            return testbed.received.times
+        assert once() == once()
+
+
+class TestWorkloads:
+    def test_payload_sizes_exact(self):
+        for size in (0, 1, 100, 5000):
+            attrs = payload_attributes(size, 3)
+            assert len(attrs["data"]) == size
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            payload_attributes(-1, 0)
+
+    def test_ban_mix_is_deterministic(self):
+        a = ban_monitoring_mix(RngRegistry(3), 50)
+        b = ban_monitoring_mix(RngRegistry(3), 50)
+        assert a == b
+        types = {t for t, _ in a}
+        assert "health.hr" in types
+
+
+class TestExperimentFunctions:
+    def test_fig4a_tiny(self):
+        result = run_fig4a(payload_sizes=(0, 1000), samples=2,
+                           engines=("forwarding",))
+        series = result.series[0]
+        assert [p.x for p in series.points] == [0, 1000]
+        assert series.points[1].mean > series.points[0].mean
+
+    def test_fig4b_tiny(self):
+        result = run_fig4b(payload_sizes=(500,), duration_s=5.0,
+                           engines=("forwarding",))
+        point = result.series[0].points[0]
+        assert point.mean > 0
+
+    def test_link_baseline_tiny(self):
+        result = run_link_baseline(ping_count=50, bulk_packets=50)
+        assert 0.5 < result["latency_ms_mean"] < 2.5
+        assert result["bulk_throughput_kb_s"] > 100
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) <= len(lines[1]) + 1 for line in lines)
+
+    def test_series_table_includes_all_series(self):
+        result = run_fig4a(payload_sizes=(0,), samples=1,
+                           engines=("forwarding",))
+        text = format_series_table(result)
+        assert "C-based event bus" in text
+        assert "Payload Size" in text
+
+    def test_csv_output(self):
+        result = run_fig4a(payload_sizes=(0,), samples=1,
+                           engines=("forwarding",))
+        csv = to_csv(result)
+        assert csv.startswith("series,x,mean,min,max,n")
+        assert "C-based event bus,0" in csv

@@ -1,0 +1,68 @@
+"""Shared fixtures.
+
+Unit tests run on a virtual-time :class:`Simulator`; network-flavoured
+tests get an in-memory hub or a simulated network.  Everything is
+deterministic — no test depends on wall-clock time or real sockets except
+the explicitly-marked UDP integration tests.
+"""
+
+import pytest
+
+from repro.ids import service_id_from_name
+from repro.sim.hosts import LAPTOP_PROFILE, PDA_PROFILE, SENSOR_PROFILE, SimHost
+from repro.sim.kernel import Simulator
+from repro.sim.radio import USB_IP, WIFI_11B, SimNetwork
+from repro.sim.rng import RngRegistry
+from repro.transport.endpoint import PacketEndpoint
+from repro.transport.inmem import InMemoryHub
+from repro.transport.simnet import SimTransport
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def hub(sim):
+    return InMemoryHub(sim)
+
+
+@pytest.fixture
+def sid():
+    """Factory for deterministic service ids."""
+    return service_id_from_name
+
+
+@pytest.fixture
+def simnet(sim):
+    """A simulated network with one WiFi medium and a node factory."""
+    network = SimNetwork(sim, RngRegistry(1234))
+    medium = network.add_medium("wifi", WIFI_11B)
+
+    def add_node(name, profile=SENSOR_PROFILE, position=(0.0, 0.0)):
+        network.attach(name, SimHost(sim, profile, name), medium, position)
+        return SimTransport(network, name)
+
+    network.add_node = add_node
+    return network
+
+
+@pytest.fixture
+def usb_net(sim):
+    """The paper's wired testbed: PDA + laptop over USB-IP."""
+    network = SimNetwork(sim, RngRegistry(99))
+    medium = network.add_medium("usb", USB_IP)
+    network.attach("pda", SimHost(sim, PDA_PROFILE, "pda"), medium)
+    network.attach("laptop", SimHost(sim, LAPTOP_PROFILE, "laptop"), medium)
+    return network
+
+
+@pytest.fixture
+def endpoints(sim, hub):
+    """Factory for PacketEndpoints joined through the in-memory hub."""
+
+    def make(name, **kwargs):
+        return PacketEndpoint(hub.create(name), sim, **kwargs)
+
+    return make

@@ -1,0 +1,60 @@
+"""Fixtures for core-layer tests: a bus core with manual admission.
+
+Discovery is tested separately; here membership events are injected by
+hand so proxy/bootstrap/client behaviour is isolated from the discovery
+protocol.
+"""
+
+import pytest
+
+from repro.core.bootstrap import ProxyBootstrap
+from repro.core.bus import EventBus
+from repro.core.client import BusClient
+from repro.core.events import NEW_MEMBER_TYPE, PURGE_MEMBER_TYPE
+from repro.matching.engine import make_engine
+from repro.transport.endpoint import PacketEndpoint
+
+
+class CoreKit:
+    """A bus core on node "core" plus helpers to admit/purge members."""
+
+    def __init__(self, sim, hub):
+        self.sim = sim
+        self.hub = hub
+        self.core_endpoint = PacketEndpoint(hub.create("core"), sim)
+        self.bus = EventBus(sim, make_engine("forwarding"))
+        self.bootstrap = ProxyBootstrap(self.bus, self.core_endpoint)
+        self.discovery = self.bus.local_publisher("manual-discovery")
+
+    def device_endpoint(self, name, **kwargs) -> PacketEndpoint:
+        return PacketEndpoint(self.hub.create(name), self.sim, **kwargs)
+
+    def admit(self, endpoint, name=None, device_type="service"):
+        """Publish the New Member event for a device endpoint."""
+        node_name = endpoint.local_address
+        self.core_endpoint.learn_peer(endpoint.service_id, node_name)
+        self.discovery.publish(NEW_MEMBER_TYPE, {
+            "member": int(endpoint.service_id),
+            "name": name or str(node_name),
+            "device_type": device_type,
+            "address": str(node_name),
+        })
+        self.sim.run_until_idle()
+        return endpoint.service_id
+
+    def purge(self, member_id, reason="test"):
+        self.discovery.publish(PURGE_MEMBER_TYPE, {
+            "member": int(member_id), "name": "-", "reason": reason,
+        })
+        self.sim.run_until_idle()
+
+    def client(self, name, **kwargs) -> BusClient:
+        endpoint = self.device_endpoint(name, **kwargs)
+        client = BusClient(endpoint, self.sim, "core")
+        self.admit(endpoint, name=name)
+        return client
+
+
+@pytest.fixture
+def kit(sim, hub):
+    return CoreKit(sim, hub)

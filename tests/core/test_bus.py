@@ -1,0 +1,124 @@
+"""The event bus semantics layer, against local subscribers."""
+
+import pytest
+
+from repro.core.bus import EventBus
+from repro.core.events import Event
+from repro.errors import BusError, NotAMemberError, SubscriptionNotFoundError
+from repro.ids import service_id_from_name
+from repro.matching.engine import make_engine
+from repro.matching.filters import Filter
+
+SENDER = service_id_from_name("pub")
+
+
+@pytest.fixture(params=["forwarding", "siena", "brute"])
+def bus(sim, request):
+    return EventBus(sim, make_engine(request.param))
+
+
+class TestLocalPubSub:
+    def test_delivery(self, sim, bus):
+        got = []
+        bus.subscribe_local(Filter.where("t"), got.append)
+        publisher = bus.local_publisher("svc")
+        publisher.publish("t", {"v": 1})
+        sim.run_until_idle()
+        assert [e.get("v") for e in got] == [1]
+
+    def test_no_subscribers_counts_unmatched(self, sim, bus):
+        bus.local_publisher("svc").publish("nobody.cares")
+        sim.run_until_idle()
+        assert bus.stats.unmatched == 1
+
+    def test_callbacks_run_async_not_inline(self, sim, bus):
+        got = []
+        bus.subscribe_local(Filter.where("t"), got.append)
+        bus.local_publisher("svc").publish("t")
+        assert got == []                  # not yet: scheduled, not inline
+        sim.run_until_idle()
+        assert len(got) == 1
+
+    def test_per_sender_fifo_order(self, sim, bus):
+        got = []
+        bus.subscribe_local(Filter.where("t"), lambda e: got.append(e.seqno))
+        publisher = bus.local_publisher("svc")
+        for _ in range(20):
+            publisher.publish("t")
+        sim.run_until_idle()
+        assert got == list(range(1, 21))
+
+    def test_multiple_local_subscribers_each_get_event(self, sim, bus):
+        got_a, got_b = [], []
+        bus.subscribe_local(Filter.where("t"), got_a.append)
+        bus.subscribe_local(Filter.where("t"), got_b.append)
+        bus.local_publisher("svc").publish("t")
+        sim.run_until_idle()
+        assert len(got_a) == len(got_b) == 1
+
+    def test_unsubscribe_local(self, sim, bus):
+        got = []
+        sub_id = bus.subscribe_local(Filter.where("t"), got.append)
+        bus.unsubscribe_local(sub_id)
+        bus.local_publisher("svc").publish("t")
+        sim.run_until_idle()
+        assert got == []
+
+    def test_unsubscribe_unknown_raises(self, bus):
+        with pytest.raises(SubscriptionNotFoundError):
+            bus.unsubscribe_local(99)
+
+    def test_duplicate_suppression_by_watermark(self, sim, bus):
+        got = []
+        bus.subscribe_local(Filter.where("t"), got.append)
+        event = Event("t", {}, SENDER, 5, 0.0)
+        assert bus.publish(event) is True
+        assert bus.publish(event) is False       # same (sender, seqno)
+        sim.run_until_idle()
+        assert len(got) == 1
+        assert bus.stats.duplicates_dropped == 1
+
+    def test_old_seqno_suppressed(self, sim, bus):
+        bus.publish(Event("t", {}, SENDER, 10, 0.0))
+        assert bus.publish(Event("t", {}, SENDER, 3, 0.0)) is False
+
+    def test_independent_watermarks_per_sender(self, sim, bus):
+        other = service_id_from_name("other")
+        assert bus.publish(Event("t", {}, SENDER, 5, 0.0))
+        assert bus.publish(Event("t", {}, other, 5, 0.0))
+
+    def test_local_publisher_seqnos_monotonic(self, bus):
+        publisher = bus.local_publisher("svc")
+        first = publisher.publish("t")
+        second = publisher.publish("t")
+        assert second.seqno == first.seqno + 1
+
+    def test_stats_track_subscriptions(self, bus):
+        sub_id = bus.subscribe_local(Filter.where("t"), lambda e: None)
+        assert bus.stats.subscriptions_active == 1
+        bus.unsubscribe_local(sub_id)
+        assert bus.stats.subscriptions_active == 0
+
+
+class TestMembership:
+    def test_proxy_required_for_member_subscription(self, bus):
+        with pytest.raises(NotAMemberError):
+            bus.subscribe_member(service_id_from_name("ghost"),
+                                 [Filter.where("t")])
+
+    def test_proxy_of_unknown_raises(self, bus):
+        with pytest.raises(NotAMemberError):
+            bus.proxy_of(service_id_from_name("ghost"))
+
+    def test_unregister_clears_watermark(self, sim, bus):
+        # After a purge, a re-admitted device restarts its seqnos; the bus
+        # must accept them (exactly-once is scoped to one membership).
+        bus.publish(Event("t", {}, SENDER, 50, 0.0))
+        bus.unregister_member(SENDER)
+        assert bus.publish(Event("t", {}, SENDER, 1, 0.0)) is True
+
+    def test_unsubscribe_member_ownership_checked(self, sim, bus):
+        got = []
+        sub_id = bus.subscribe_local(Filter.where("t"), got.append)
+        with pytest.raises(BusError):
+            bus.unsubscribe_member(service_id_from_name("x"), sub_id)

@@ -1,0 +1,228 @@
+"""Event correlation service: count, trend, and absence rules."""
+
+import pytest
+
+from repro.core.bus import EventBus
+from repro.core.correlate import EventCorrelator
+from repro.errors import ConfigurationError
+from repro.matching.filters import Filter
+
+
+@pytest.fixture
+def setup(sim):
+    bus = EventBus(sim)
+    correlator = EventCorrelator(bus, sim)
+    publisher = bus.local_publisher("sensor")
+    composites = []
+    bus.subscribe_local(Filter.for_type_prefix("smc.correlated."),
+                        composites.append)
+    return sim, bus, correlator, publisher, composites
+
+
+class TestCountRule:
+    def test_fires_at_count_within_window(self, setup):
+        sim, bus, correlator, publisher, composites = setup
+        correlator.add_count_rule("burst", Filter.where("health.hr.alarm"),
+                                  count=3, window_s=10.0)
+        for index in range(3):
+            sim.call_later(index * 1.0,
+                           lambda: publisher.publish("health.hr.alarm"))
+        sim.run(5.0)
+        assert len(composites) == 1
+        event = composites[0]
+        assert event.type == "smc.correlated.burst"
+        assert event.get("count") == 3
+
+    def test_does_not_fire_below_count(self, setup):
+        sim, bus, correlator, publisher, composites = setup
+        correlator.add_count_rule("burst", Filter.where("t"), count=5,
+                                  window_s=10.0)
+        for _ in range(4):
+            publisher.publish("t")
+        sim.run_until_idle()
+        assert composites == []
+
+    def test_window_expires_old_events(self, setup):
+        sim, bus, correlator, publisher, composites = setup
+        correlator.add_count_rule("burst", Filter.where("t"), count=3,
+                                  window_s=2.0)
+        # Three events, but spread over 6 seconds: never 3 in any 2 s.
+        for index in range(3):
+            sim.call_later(index * 3.0, lambda: publisher.publish("t"))
+        sim.run(10.0)
+        assert composites == []
+
+    def test_cooldown_suppresses_refiring(self, setup):
+        sim, bus, correlator, publisher, composites = setup
+        correlator.add_count_rule("burst", Filter.where("t"), count=2,
+                                  window_s=10.0, cooldown_s=10.0)
+        for index in range(6):
+            sim.call_later(index * 0.5, lambda: publisher.publish("t"))
+        sim.run(5.0)
+        assert len(composites) == 1
+
+    def test_count_must_be_at_least_two(self, setup):
+        sim, bus, correlator, publisher, composites = setup
+        with pytest.raises(ConfigurationError):
+            correlator.add_count_rule("bad", Filter.where("t"), count=1,
+                                      window_s=1.0)
+
+
+class TestTrendRule:
+    def test_fires_when_mean_crosses_level(self, setup):
+        sim, bus, correlator, publisher, composites = setup
+        correlator.add_trend_rule("fever", Filter.where("health.temp"),
+                                  attribute="celsius", level=38.0,
+                                  window_s=100.0, min_samples=3)
+        for index, temp in enumerate([37.0, 37.5, 38.0, 38.8, 39.5]):
+            sim.call_later(index * 1.0,
+                           lambda t=temp: publisher.publish(
+                               "health.temp", {"celsius": t}))
+        sim.run(10.0)
+        assert len(composites) == 1
+        assert composites[0].get("direction") == "rising"
+        assert composites[0].get("mean") > 38.0
+
+    def test_edge_triggered_not_level_triggered(self, setup):
+        sim, bus, correlator, publisher, composites = setup
+        correlator.add_trend_rule("fever", Filter.where("t"),
+                                  attribute="v", level=10.0, window_s=100.0,
+                                  min_samples=1)
+        for index, value in enumerate([20.0, 21.0, 22.0]):   # stays above
+            sim.call_later(index * 1.0,
+                           lambda v=value: publisher.publish("t", {"v": v}))
+        sim.run(10.0)
+        assert len(composites) == 1          # one crossing, one event
+
+    def test_rearms_after_falling_back(self, setup):
+        sim, bus, correlator, publisher, composites = setup
+        correlator.add_trend_rule("spike", Filter.where("t"),
+                                  attribute="v", level=10.0, window_s=0.5,
+                                  min_samples=1)
+        values = [20.0, 1.0, 20.0]           # up, down, up again
+        for index, value in enumerate(values):
+            sim.call_later(index * 2.0,
+                           lambda v=value: publisher.publish("t", {"v": v}))
+        sim.run(10.0)
+        assert len(composites) == 2
+
+    def test_falling_direction(self, setup):
+        sim, bus, correlator, publisher, composites = setup
+        correlator.add_trend_rule("desat", Filter.where("health.spo2"),
+                                  attribute="spo2", level=90.0,
+                                  window_s=100.0, rising=False,
+                                  min_samples=2)
+        for index, spo2 in enumerate([97, 96, 78, 70]):
+            sim.call_later(index * 1.0,
+                           lambda v=spo2: publisher.publish(
+                               "health.spo2", {"spo2": v}))
+        sim.run(10.0)
+        assert len(composites) == 1
+        assert composites[0].get("direction") == "falling"
+
+    def test_non_numeric_values_ignored(self, setup):
+        sim, bus, correlator, publisher, composites = setup
+        correlator.add_trend_rule("r", Filter.where("t"), attribute="v",
+                                  level=1.0, window_s=10.0, min_samples=1)
+        publisher.publish("t", {"v": "not-a-number"})
+        publisher.publish("t", {"v": True})     # bool excluded too
+        publisher.publish("t", {})
+        sim.run_until_idle()
+        assert composites == []
+
+
+class TestAbsenceRule:
+    def test_fires_on_silence(self, setup):
+        sim, bus, correlator, publisher, composites = setup
+        correlator.add_absence_rule("watchdog", Filter.where("health.hr"),
+                                    timeout_s=5.0)
+        sim.run(6.0)
+        assert len(composites) >= 1
+        assert composites[0].get("silent_for_s") >= 5.0
+
+    def test_does_not_fire_while_events_flow(self, setup):
+        sim, bus, correlator, publisher, composites = setup
+        correlator.add_absence_rule("watchdog", Filter.where("t"),
+                                    timeout_s=5.0)
+        timer = sim.every(1.0, lambda: publisher.publish("t"))
+        sim.run(20.0)
+        assert composites == []
+        timer.cancel()
+
+    def test_fires_repeatedly_during_long_silence(self, setup):
+        sim, bus, correlator, publisher, composites = setup
+        correlator.add_absence_rule("watchdog", Filter.where("t"),
+                                    timeout_s=3.0)
+        sim.run(14.0)
+        assert len(composites) >= 3
+
+    def test_resumes_quiet_after_event(self, setup):
+        sim, bus, correlator, publisher, composites = setup
+        correlator.add_absence_rule("watchdog", Filter.where("t"),
+                                    timeout_s=5.0)
+        sim.run(6.0)
+        fired_during_silence = len(composites)
+        assert fired_during_silence >= 1
+        timer = sim.every(1.0, lambda: publisher.publish("t"))
+        sim.run(20.0)
+        assert len(composites) == fired_during_silence
+        timer.cancel()
+
+
+class TestRuleManagement:
+    def test_duplicate_name_rejected(self, setup):
+        sim, bus, correlator, publisher, composites = setup
+        correlator.add_count_rule("r", Filter.where("t"), count=2,
+                                  window_s=1.0)
+        with pytest.raises(ConfigurationError):
+            correlator.add_trend_rule("r", Filter.where("t"), attribute="v",
+                                      level=1.0, window_s=1.0)
+
+    def test_remove_rule_stops_it(self, setup):
+        sim, bus, correlator, publisher, composites = setup
+        correlator.add_count_rule("r", Filter.where("t"), count=2,
+                                  window_s=10.0)
+        correlator.remove_rule("r")
+        publisher.publish("t")
+        publisher.publish("t")
+        sim.run_until_idle()
+        assert composites == []
+        assert correlator.rules() == []
+
+    def test_remove_unknown_rejected(self, setup):
+        sim, bus, correlator, publisher, composites = setup
+        with pytest.raises(ConfigurationError):
+            correlator.remove_rule("ghost")
+
+    def test_custom_emit_type(self, setup):
+        sim, bus, correlator, publisher, composites = setup
+        alarms = []
+        bus.subscribe_local(Filter.where("health.hr.episode"), alarms.append)
+        correlator.add_count_rule("ep", Filter.where("health.hr"),
+                                  count=2, window_s=10.0,
+                                  emit_type="health.hr.episode")
+        publisher.publish("health.hr")
+        publisher.publish("health.hr")
+        sim.run(1.0)
+        assert len(alarms) == 1
+
+    def test_composite_feeds_policy_chain(self, setup):
+        # Correlator output is an ordinary event: a second rule (or a
+        # policy) can consume it.
+        sim, bus, correlator, publisher, composites = setup
+        from repro.policy.engine import PolicyEngine
+        from repro.policy.model import ActionSpec, ObligationPolicy
+        engine = PolicyEngine(bus)
+        notified = []
+        engine.executor.register_handler(
+            "notify", lambda target, params: notified.append(params))
+        engine.add_obligation(ObligationPolicy(
+            name="EpisodeAlert",
+            event_filter=Filter.where("smc.correlated.burst"),
+            actions=(ActionSpec("notify"),)))
+        correlator.add_count_rule("burst", Filter.where("health.hr.alarm"),
+                                  count=2, window_s=10.0)
+        publisher.publish("health.hr.alarm")
+        publisher.publish("health.hr.alarm")
+        sim.run(1.0)
+        assert len(notified) == 1

@@ -1,0 +1,147 @@
+"""The event model and codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import BusError, CodecError
+from repro.core.events import (
+    NEW_MEMBER_TYPE,
+    PURGE_MEMBER_TYPE,
+    Event,
+    decode_event,
+    encode_event,
+    new_member_event,
+    purge_member_event,
+)
+from repro.ids import ServiceId, service_id_from_name
+
+SENDER = service_id_from_name("sensor-1")
+
+
+def make_event(**overrides):
+    defaults = dict(type="health.hr", attributes={"hr": 120.5},
+                    sender=SENDER, seqno=7, timestamp=1.5)
+    defaults.update(overrides)
+    return Event(**defaults)
+
+
+class TestEvent:
+    def test_fields(self):
+        event = make_event()
+        assert event.type == "health.hr"
+        assert event.attributes["hr"] == 120.5
+        assert event.sender == SENDER
+        assert event.seqno == 7
+
+    def test_immutable_fields(self):
+        event = make_event()
+        with pytest.raises(AttributeError):
+            event.type = "other"
+
+    def test_attribute_map_is_readonly(self):
+        event = make_event()
+        with pytest.raises(TypeError):
+            event.attributes["hr"] = 0
+
+    def test_constructor_snapshot(self):
+        attrs = {"hr": 1}
+        event = make_event(attributes=attrs)
+        attrs["hr"] = 999
+        assert event.attributes["hr"] == 1
+
+    def test_attrs_view_includes_type(self):
+        view = make_event().attrs_view()
+        assert view["type"] == "health.hr"
+        assert view["hr"] == 120.5
+
+    def test_type_attribute_reserved(self):
+        with pytest.raises(BusError):
+            make_event(attributes={"type": "spoofed"})
+
+    def test_empty_type_rejected(self):
+        with pytest.raises(BusError):
+            make_event(type="")
+
+    def test_negative_seqno_rejected(self):
+        with pytest.raises(BusError):
+            make_event(seqno=-1)
+
+    def test_bad_attribute_value_rejected(self):
+        with pytest.raises(BusError):
+            make_event(attributes={"x": [1, 2]})
+
+    def test_bad_attribute_name_rejected(self):
+        with pytest.raises(BusError):
+            make_event(attributes={"": 1})
+
+    def test_key_identifies_event(self):
+        assert make_event().key() == (SENDER, 7)
+
+    def test_get_with_default(self):
+        event = make_event()
+        assert event.get("hr") == 120.5
+        assert event.get("missing", 0) == 0
+
+    def test_equality_ignores_timestamp(self):
+        assert make_event(timestamp=1.0) == make_event(timestamp=2.0)
+
+    def test_hashable(self):
+        assert len({make_event(), make_event()}) == 1
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        event = make_event(attributes={"hr": 120.5, "alarm": True,
+                                       "patient": "p-1", "raw": b"\x00\x01"})
+        decoded, offset = decode_event(encode_event(event))
+        assert decoded == event
+        assert decoded.timestamp == event.timestamp
+
+    def test_empty_attributes(self):
+        decoded, _ = decode_event(encode_event(make_event(attributes={})))
+        assert dict(decoded.attributes) == {}
+
+    def test_truncated_rejected(self):
+        encoded = encode_event(make_event())
+        with pytest.raises(CodecError):
+            decode_event(encoded[:8])
+
+    def test_spoofed_type_attribute_on_wire_rejected(self):
+        from repro.transport import wire
+        import struct
+        raw = (wire.encode_str("t") + SENDER.to_bytes48()
+               + wire.encode_varint(1) + struct.pack("!d", 0.0)
+               + wire.encode_attr_map({"type": "fake"}))
+        with pytest.raises(CodecError):
+            decode_event(raw)
+
+    @given(st.dictionaries(
+        st.text(min_size=1, max_size=10).filter(lambda s: s != "type"),
+        st.one_of(st.booleans(), st.integers(-1000, 1000),
+                  st.floats(allow_nan=False, allow_infinity=False),
+                  st.text(max_size=30), st.binary(max_size=30)),
+        max_size=8),
+        st.integers(0, 2 ** 30))
+    def test_roundtrip_property(self, attrs, seqno):
+        event = Event("bench.t", attrs, SENDER, seqno, 0.25)
+        decoded, _ = decode_event(encode_event(event))
+        assert decoded == event
+
+
+class TestManagementEvents:
+    def test_new_member_event(self):
+        member = ServiceId(0xABCDEF)
+        event = new_member_event(SENDER, 1, 0.0, member=member, name="hr-1",
+                                 device_type="sensor.hr", address="node-9")
+        assert event.type == NEW_MEMBER_TYPE
+        assert event.get("member") == int(member)
+        assert event.get("device_type") == "sensor.hr"
+        assert event.get("address") == "node-9"
+
+    def test_purge_member_event(self):
+        member = ServiceId(0xABCDEF)
+        event = purge_member_event(SENDER, 2, 0.0, member=member,
+                                   name="hr-1", reason="timeout")
+        assert event.type == PURGE_MEMBER_TYPE
+        assert event.get("reason") == "timeout"

@@ -1,0 +1,306 @@
+"""Proxies and the bootstrap mechanism (paper Sections III-B, III-C)."""
+
+import pytest
+
+from repro.core import protocol
+from repro.core.events import Event
+from repro.core.protocol import BusOp
+from repro.core.proxies import SensorProxy, ServiceProxy
+from repro.devices.protocols import HeartRateProtocol
+from repro.errors import ConfigurationError
+from repro.ids import service_id_from_name
+from repro.matching.filters import Filter
+
+
+class TestBootstrap:
+    def test_new_member_event_creates_proxy(self, kit):
+        endpoint = kit.device_endpoint("dev")
+        member = kit.admit(endpoint)
+        assert kit.bus.is_member(member)
+        assert kit.bootstrap.stats.proxies_created == 1
+        assert isinstance(kit.bus.proxy_of(member), ServiceProxy)
+
+    def test_registered_translator_selects_sensor_proxy(self, kit):
+        kit.bootstrap.register_translator(HeartRateProtocol("p-1"))
+        endpoint = kit.device_endpoint("hr")
+        member = kit.admit(endpoint, device_type="sensor.hr")
+        proxy = kit.bus.proxy_of(member)
+        assert isinstance(proxy, SensorProxy)
+        assert proxy.device_type == "sensor.hr"
+
+    def test_duplicate_translator_rejected(self, kit):
+        kit.bootstrap.register_translator(HeartRateProtocol("p-1"))
+        with pytest.raises(ConfigurationError):
+            kit.bootstrap.register_translator(HeartRateProtocol("p-2"))
+
+    def test_duplicate_new_member_event_is_idempotent(self, kit):
+        endpoint = kit.device_endpoint("dev")
+        kit.admit(endpoint)
+        kit.admit(endpoint)          # duplicate event
+        assert kit.bootstrap.stats.proxies_created == 1
+
+    def test_unknown_device_type_uses_default_factory(self, kit):
+        endpoint = kit.device_endpoint("strange")
+        member = kit.admit(endpoint, device_type="gadget.v9")
+        assert isinstance(kit.bus.proxy_of(member), ServiceProxy)
+
+    def test_malformed_member_event_counted(self, kit):
+        kit.discovery.publish("smc.member.new", {"member": "not-an-int",
+                                                 "name": "x"})
+        kit.sim.run_until_idle()
+        assert kit.bootstrap.stats.creation_failures == 1
+
+    def test_payload_from_nonmember_dropped(self, kit, sim):
+        endpoint = kit.device_endpoint("stranger")
+        endpoint.send_reliable("core", protocol.frame(BusOp.PUBLISH, b""))
+        sim.run_until_idle()
+        assert kit.bootstrap.stats.payloads_from_nonmembers == 1
+        assert kit.bus.stats.from_unknown_member == 1
+
+    def test_address_parsing(self):
+        from repro.core.bootstrap import _parse_address, format_address
+        assert _parse_address("10.0.0.1:8080") == ("10.0.0.1", 8080)
+        assert _parse_address("node-name") == "node-name"
+        assert format_address(("10.0.0.1", 8080)) == "10.0.0.1:8080"
+        assert format_address("node-name") == "node-name"
+
+
+class TestServiceProxyFlow:
+    def test_publish_through_proxy(self, kit, sim):
+        got = []
+        kit.bus.subscribe_local(Filter.where("t"), got.append)
+        client = kit.client("dev")
+        client.publish("t", {"v": 7})
+        sim.run_until_idle()
+        assert [e.get("v") for e in got] == [7]
+        proxy = kit.bus.proxy_of(client.service_id)
+        assert proxy.stats.events_published == 1
+
+    def test_subscribe_and_deliver_through_proxy(self, kit, sim):
+        client = kit.client("dev")
+        got = []
+        client.subscribe(Filter.where("t"), got.append)
+        sim.run_until_idle()
+        kit.bus.local_publisher("svc").publish("t", {"v": 1})
+        sim.run_until_idle()
+        assert [e.get("v") for e in got] == [1]
+
+    def test_unsubscribe_through_proxy(self, kit, sim):
+        client = kit.client("dev")
+        got = []
+        sub_id = client.subscribe(Filter.where("t"), got.append)
+        sim.run_until_idle()
+        client.unsubscribe(sub_id)
+        sim.run_until_idle()
+        kit.bus.local_publisher("svc").publish("t")
+        sim.run_until_idle()
+        assert got == []
+        assert kit.bus.subscriptions_of(client.service_id) == set()
+
+    def test_member_delivered_once_despite_overlapping_subs(self, kit, sim):
+        client = kit.client("dev")
+        got = []
+        client.subscribe(Filter.where("t"), got.append)
+        client.subscribe(Filter.for_type_prefix("t"), got.append)
+        sim.run_until_idle()
+        kit.bus.local_publisher("svc").publish("t")
+        sim.run_until_idle()
+        # The bus sends the event to the member once; the client dispatches
+        # it to both matching callbacks.
+        assert kit.bus.proxy_of(client.service_id).stats.events_delivered == 1
+        assert len(got) == 2
+        assert client.stats.delivered == 1
+
+    def test_malformed_payload_counted(self, kit, sim):
+        endpoint = kit.device_endpoint("dev")
+        member = kit.admit(endpoint)
+        endpoint.send_reliable("core", b"\xff garbage")
+        sim.run_until_idle()
+        assert kit.bus.proxy_of(member).stats.malformed_payloads == 1
+
+    def test_reused_client_sub_id_counted_malformed(self, kit, sim):
+        from repro.matching.filters import Subscription, encode_subscription
+        endpoint = kit.device_endpoint("dev")
+        member = kit.admit(endpoint)
+        sub = Subscription(1, endpoint.service_id, [Filter.where("t")])
+        frame = protocol.frame(BusOp.SUBSCRIBE, encode_subscription(sub))
+        endpoint.send_reliable("core", frame)
+        endpoint.send_reliable("core", frame)
+        sim.run_until_idle()
+        assert kit.bus.proxy_of(member).stats.malformed_payloads == 1
+        assert len(kit.bus.subscriptions_of(member)) == 1
+
+
+class TestPurgeSelfDestruct:
+    def test_purge_destroys_proxy_and_membership(self, kit, sim):
+        client = kit.client("dev")
+        member = client.service_id
+        proxy = kit.bus.proxy_of(member)
+        kit.purge(member)
+        assert proxy.destroyed
+        assert not kit.bus.is_member(member)
+
+    def test_purge_removes_subscriptions(self, kit, sim):
+        client = kit.client("dev")
+        client.subscribe(Filter.where("t"), lambda e: None)
+        sim.run_until_idle()
+        assert kit.bus.stats.subscriptions_active >= 1
+        kit.purge(client.service_id)
+        assert kit.bus.subscriptions_of(client.service_id) == set()
+
+    def test_purge_drops_queued_events(self, kit, sim, hub):
+        client = kit.client("dev")
+        client.subscribe(Filter.where("t"), lambda e: None)
+        sim.run_until_idle()
+        # Cut the device off, queue events for it, then purge.
+        hub.drop_filter = lambda src, dest, data: dest != "dev"
+        publisher = kit.bus.local_publisher("svc")
+        for _ in range(5):
+            publisher.publish("t")
+        sim.run(2.0)
+        proxy = kit.bus.proxy_of(client.service_id)
+        kit.purge(client.service_id)
+        assert proxy.stats.dropped_on_destroy >= 4
+        # Nothing arrives even after the partition heals.
+        hub.drop_filter = None
+        before = client.stats.delivered
+        sim.run(10.0)
+        assert client.stats.delivered == before
+
+    def test_purge_of_other_member_leaves_proxy_alone(self, kit, sim):
+        client_a = kit.client("dev-a")
+        client_b = kit.client("dev-b")
+        kit.purge(client_a.service_id)
+        assert not kit.bus.is_member(client_a.service_id)
+        assert kit.bus.is_member(client_b.service_id)
+
+    def test_destroy_is_idempotent(self, kit):
+        client = kit.client("dev")
+        proxy = kit.bus.proxy_of(client.service_id)
+        proxy.destroy()
+        proxy.destroy()
+        assert not kit.bus.is_member(client.service_id)
+
+
+class TestSensorProxyTranslation:
+    def make_sensor(self, kit, forward_acks=False):
+        kit.bootstrap.register_translator(HeartRateProtocol("p-1"),
+                                          forward_acks=forward_acks)
+        endpoint = kit.device_endpoint("hr")
+        member = kit.admit(endpoint, device_type="sensor.hr")
+        return endpoint, member
+
+    def test_reading_translated_to_event(self, kit, sim):
+        endpoint, member = self.make_sensor(kit)
+        got = []
+        kit.bus.subscribe_local(Filter.where("health.hr"), got.append)
+        reading = HeartRateProtocol("p-1").encode_reading(141.5, alarm=True)
+        endpoint.send_reliable("core",
+                               protocol.frame(BusOp.DEVICE_DATA, reading))
+        sim.run_until_idle()
+        assert len(got) == 1
+        event = got[0]
+        assert event.get("hr") == 141.5
+        assert event.get("alarm") is True
+        assert event.get("patient") == "p-1"
+        assert event.sender == member        # stamped as the device
+
+    def test_proxy_assigns_monotonic_seqnos(self, kit, sim):
+        endpoint, member = self.make_sensor(kit)
+        got = []
+        kit.bus.subscribe_local(Filter.where("health.hr"), got.append)
+        proto = HeartRateProtocol("p-1")
+        for bpm in (60.0, 61.0, 62.0):
+            endpoint.send_reliable("core", protocol.frame(
+                BusOp.DEVICE_DATA, proto.encode_reading(bpm)))
+        sim.run_until_idle()
+        assert [e.seqno for e in got] == [1, 2, 3]
+
+    def test_corrupt_reading_dropped(self, kit, sim):
+        endpoint, member = self.make_sensor(kit)
+        endpoint.send_reliable("core", protocol.frame(
+            BusOp.DEVICE_DATA, b"\x48\x01\xff\xff"))
+        sim.run_until_idle()
+        proxy = kit.bus.proxy_of(member)
+        assert proxy.stats.malformed_payloads == 1
+        assert proxy.stats.readings_translated == 0
+
+    def test_command_event_translated_to_device_bytes(self, kit, sim):
+        endpoint, member = self.make_sensor(kit)
+        got = []
+        endpoint.set_payload_handler(lambda peer, data: got.append(data))
+        # The proxy auto-subscribed for set_threshold commands.
+        kit.bus.local_publisher("policy").publish(
+            "smc.cmd.set_threshold", {"target": "monitor", "value": 130})
+        sim.run_until_idle()
+        assert len(got) == 1
+        op, body = protocol.unframe(got[0])
+        assert op == BusOp.DEVICE_CMD
+        decoded = HeartRateProtocol("p-1").decode_command(body)
+        assert decoded == ("set_threshold", 130.0)
+
+    def test_untranslatable_command_dropped_silently(self, kit, sim):
+        endpoint, member = self.make_sensor(kit)
+        got = []
+        endpoint.set_payload_handler(lambda peer, data: got.append(data))
+        kit.bus.local_publisher("policy").publish(
+            "smc.cmd.set_threshold", {"target": "monitor",
+                                      "value": "not-a-number"})
+        sim.run_until_idle()
+        assert got == []
+
+    def test_ack_forwarded_when_configured(self, kit, sim):
+        endpoint, member = self.make_sensor(kit, forward_acks=True)
+        got = []
+        endpoint.set_payload_handler(lambda peer, data: got.append(data))
+        proto = HeartRateProtocol("p-1")
+        endpoint.send_reliable("core", protocol.frame(
+            BusOp.DEVICE_DATA, proto.encode_reading(70.0)))
+        sim.run_until_idle()
+        acks = [data for data in got
+                if protocol.unframe(data)[0] == BusOp.DEVICE_CMD
+                and proto.is_ack(protocol.unframe(data)[1])]
+        assert len(acks) == 1
+
+    def test_no_ack_by_default(self, kit, sim):
+        endpoint, member = self.make_sensor(kit, forward_acks=False)
+        got = []
+        endpoint.set_payload_handler(lambda peer, data: got.append(data))
+        endpoint.send_reliable("core", protocol.frame(
+            BusOp.DEVICE_DATA,
+            HeartRateProtocol("p-1").encode_reading(70.0)))
+        sim.run_until_idle()
+        assert got == []
+
+
+class TestProtocolFrames:
+    def test_frame_unframe(self):
+        framed = protocol.frame(BusOp.PUBLISH, b"body")
+        assert protocol.unframe(framed) == (BusOp.PUBLISH, b"body")
+
+    def test_empty_payload_rejected(self):
+        from repro.errors import CodecError
+        with pytest.raises(CodecError):
+            protocol.unframe(b"")
+
+    def test_unknown_opcode_rejected(self):
+        from repro.errors import CodecError
+        with pytest.raises(CodecError):
+            protocol.unframe(b"\xee")
+
+    def test_quench_frames(self):
+        assert protocol.parse_quench(
+            protocol.unframe(protocol.frame_quench(True))[1]) is True
+        assert protocol.parse_quench(
+            protocol.unframe(protocol.frame_quench(False))[1]) is False
+
+    def test_unsubscribe_frame(self):
+        framed = protocol.frame_unsubscribe(77)
+        op, body = protocol.unframe(framed)
+        assert op == BusOp.UNSUBSCRIBE
+        assert protocol.parse_unsubscribe(body) == 77
+
+    def test_trailing_bytes_rejected(self):
+        from repro.errors import CodecError
+        with pytest.raises(CodecError):
+            protocol.parse_unsubscribe(b"\x05extra")

@@ -1,0 +1,47 @@
+"""Hypothesis strategies for filters, constraints and events.
+
+Shared by the covering-soundness and engine-equivalence property tests.
+The value domain is deliberately small (few attribute names, small
+integers, short strings) so random filters and events actually collide —
+a huge domain would make every test vacuous.
+"""
+
+from hypothesis import strategies as st
+
+from repro.matching.filters import Constraint, Filter, Op
+
+ATTR_NAMES = ("a", "b", "c", "hr")
+STRINGS = ("", "al", "alpha", "alphabet", "beta", "bet", "x")
+
+numbers = st.one_of(st.integers(min_value=-5, max_value=5),
+                    st.sampled_from((-1.5, 0.5, 2.5)))
+strings = st.sampled_from(STRINGS)
+scalar_values = st.one_of(numbers, strings, st.booleans(),
+                          st.sampled_from((b"ab", b"cd")))
+
+
+@st.composite
+def constraints(draw):
+    name = draw(st.sampled_from(ATTR_NAMES))
+    op = draw(st.sampled_from(list(Op)))
+    if op == Op.EXISTS:
+        return Constraint(name, op)
+    if op in (Op.LT, Op.LE, Op.GT, Op.GE):
+        value = draw(st.one_of(numbers, strings.filter(bool)))
+    elif op in (Op.PREFIX, Op.SUFFIX, Op.CONTAINS):
+        value = draw(strings)
+    else:
+        value = draw(scalar_values)
+    return Constraint(name, op, value)
+
+
+@st.composite
+def filters(draw, max_constraints=3):
+    return Filter(draw(st.lists(constraints(), min_size=0,
+                                max_size=max_constraints)))
+
+
+@st.composite
+def attribute_maps(draw):
+    return draw(st.dictionaries(st.sampled_from(ATTR_NAMES), scalar_values,
+                                max_size=len(ATTR_NAMES)))

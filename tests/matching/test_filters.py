@@ -1,0 +1,227 @@
+"""Constraints, filters, subscriptions and their wire codec."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import CodecError, FilterError
+from repro.ids import service_id_from_name
+from repro.matching.filters import (
+    Constraint,
+    Filter,
+    Kind,
+    Op,
+    Subscription,
+    decode_filter,
+    decode_subscription,
+    encode_filter,
+    encode_subscription,
+    kind_of,
+)
+from tests.matching.strategies import filters
+
+SID = service_id_from_name("subscriber")
+
+
+class TestKinds:
+    def test_bool_is_its_own_kind(self):
+        assert kind_of(True) == Kind.BOOL
+        assert kind_of(1) == Kind.NUMBER
+
+    def test_int_and_float_share_a_kind(self):
+        assert kind_of(1) == kind_of(1.5) == Kind.NUMBER
+
+    def test_str_bytes_distinct(self):
+        assert kind_of("x") != kind_of(b"x")
+
+    def test_unsupported_rejected(self):
+        with pytest.raises(FilterError):
+            kind_of([1])
+
+
+class TestConstraint:
+    @pytest.mark.parametrize("op,operand,value,expected", [
+        (Op.EQ, 5, 5, True), (Op.EQ, 5, 5.0, True), (Op.EQ, 5, 6, False),
+        (Op.NE, 5, 6, True), (Op.NE, 5, 5, False),
+        (Op.LT, 10, 9, True), (Op.LT, 10, 10, False),
+        (Op.LE, 10, 10, True), (Op.LE, 10, 11, False),
+        (Op.GT, 10, 11, True), (Op.GT, 10, 10, False),
+        (Op.GE, 10, 10, True), (Op.GE, 10, 9, False),
+        (Op.PREFIX, "he", "hello", True), (Op.PREFIX, "lo", "hello", False),
+        (Op.SUFFIX, "lo", "hello", True), (Op.SUFFIX, "he", "hello", False),
+        (Op.CONTAINS, "ell", "hello", True), (Op.CONTAINS, "z", "hello", False),
+        (Op.LT, "m", "a", True), (Op.GT, "m", "z", True),
+    ])
+    def test_operator_semantics(self, op, operand, value, expected):
+        assert Constraint("x", op, operand).matches(value) is expected
+
+    def test_exists_matches_any_value(self):
+        constraint = Constraint("x", Op.EXISTS)
+        for value in (1, "s", b"b", True, 0.5):
+            assert constraint.matches(value)
+
+    def test_kind_mismatch_never_matches(self):
+        assert not Constraint("x", Op.EQ, 5).matches("5")
+        assert not Constraint("x", Op.NE, 5).matches("anything")
+        assert not Constraint("x", Op.GT, 5).matches("10")
+        assert not Constraint("x", Op.PREFIX, "a").matches(b"abc")
+
+    def test_bool_does_not_match_number_constraint(self):
+        assert not Constraint("x", Op.EQ, 1).matches(True)
+        assert not Constraint("x", Op.EQ, True).matches(1)
+
+    def test_string_operator_names(self):
+        assert Constraint("x", ">", 5).op == Op.GT
+        assert Constraint("x", "prefix", "a").op == Op.PREFIX
+        assert Constraint("x", "exists").op == Op.EXISTS
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(FilterError):
+            Constraint("x", "~=", 5)
+
+    def test_exists_takes_no_operand(self):
+        with pytest.raises(FilterError):
+            Constraint("x", Op.EXISTS, 5)
+
+    def test_order_op_needs_orderable_operand(self):
+        with pytest.raises(FilterError):
+            Constraint("x", Op.LT, True)
+        with pytest.raises(FilterError):
+            Constraint("x", Op.GE, b"bytes")
+
+    def test_string_op_needs_string_operand(self):
+        with pytest.raises(FilterError):
+            Constraint("x", Op.PREFIX, 5)
+
+    def test_missing_operand_rejected(self):
+        with pytest.raises(FilterError):
+            Constraint("x", Op.EQ)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(FilterError):
+            Constraint("", Op.EQ, 1)
+
+    def test_immutable(self):
+        constraint = Constraint("x", Op.EQ, 1)
+        with pytest.raises(AttributeError):
+            constraint.value = 2
+
+    def test_equality_distinguishes_value_types(self):
+        # 1 == 1.0 in Python, but the constraints behave differently for
+        # hashing/indexing purposes only when types differ.
+        a = Constraint("x", Op.EQ, 1)
+        b = Constraint("x", Op.EQ, 1.0)
+        assert a != b
+
+    def test_hashable(self):
+        assert len({Constraint("x", Op.EQ, 1), Constraint("x", Op.EQ, 1)}) == 1
+
+
+class TestFilter:
+    def test_conjunction(self):
+        filt = Filter([Constraint("hr", Op.GT, 100),
+                       Constraint("hr", Op.LT, 200)])
+        assert filt.matches({"hr": 150})
+        assert not filt.matches({"hr": 50})
+        assert not filt.matches({"hr": 250})
+
+    def test_missing_attribute_fails(self):
+        filt = Filter([Constraint("hr", Op.GT, 100)])
+        assert not filt.matches({"bp": 120})
+
+    def test_empty_filter_matches_everything(self):
+        assert Filter().matches({})
+        assert Filter().matches({"anything": 1})
+
+    def test_where_builder(self):
+        filt = Filter.where("health.hr", hr=(">", 120), patient="p-1")
+        assert filt.matches({"type": "health.hr", "hr": 130,
+                             "patient": "p-1"})
+        assert not filt.matches({"type": "health.hr", "hr": 130,
+                                 "patient": "p-2"})
+        assert not filt.matches({"type": "health.bp", "hr": 130,
+                                 "patient": "p-1"})
+
+    def test_where_exists(self):
+        filt = Filter.where(None, hr="exists")
+        assert filt.matches({"hr": 1})
+        assert not filt.matches({"bp": 1})
+
+    def test_type_prefix_builder(self):
+        filt = Filter.for_type_prefix("health.")
+        assert filt.matches({"type": "health.hr"})
+        assert not filt.matches({"type": "smc.member.new"})
+
+    def test_names(self):
+        filt = Filter.where("t", a=1, b=2)
+        assert filt.names() == {"type", "a", "b"}
+
+    def test_non_constraint_rejected(self):
+        with pytest.raises(FilterError):
+            Filter(["not a constraint"])
+
+    def test_equality_and_hash(self):
+        a = Filter([Constraint("x", Op.EQ, 1), Constraint("y", Op.GT, 2)])
+        b = Filter([Constraint("y", Op.GT, 2), Constraint("x", Op.EQ, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_immutable(self):
+        filt = Filter()
+        with pytest.raises(AttributeError):
+            filt.constraints = ()
+
+
+class TestSubscription:
+    def test_disjunction_of_filters(self):
+        sub = Subscription(1, SID, [Filter.where("a"), Filter.where("b")])
+        assert sub.matches({"type": "a"})
+        assert sub.matches({"type": "b"})
+        assert not sub.matches({"type": "c"})
+
+    def test_needs_a_filter(self):
+        with pytest.raises(FilterError):
+            Subscription(1, SID, [])
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(FilterError):
+            Subscription(-1, SID, [Filter()])
+
+
+class TestWireCodec:
+    def test_filter_roundtrip(self):
+        filt = Filter([Constraint("hr", Op.GT, 100),
+                       Constraint("patient", Op.EQ, "p-1"),
+                       Constraint("note", Op.EXISTS)])
+        decoded, offset = decode_filter(encode_filter(filt))
+        assert decoded == filt
+
+    def test_empty_filter_roundtrip(self):
+        decoded, _ = decode_filter(encode_filter(Filter()))
+        assert decoded == Filter()
+
+    def test_subscription_roundtrip(self):
+        sub = Subscription(42, SID, [Filter.where("a", x=1),
+                                     Filter.where("b", y=("<", 2.5))])
+        decoded, _ = decode_subscription(encode_subscription(sub))
+        assert decoded.sub_id == 42
+        assert decoded.subscriber == SID
+        assert list(decoded.filters) == list(sub.filters)
+
+    def test_unknown_op_byte_rejected(self):
+        raw = bytearray(encode_filter(Filter([Constraint("x", Op.EQ, 1)])))
+        # name "x" is varint(1)+x; op byte follows.
+        raw[3] = 99
+        with pytest.raises(CodecError):
+            decode_filter(bytes(raw))
+
+    def test_zero_filter_subscription_rejected_on_wire(self):
+        from repro.transport import wire
+        raw = (wire.encode_varint(1) + SID.to_bytes48()
+               + wire.encode_varint(0))
+        with pytest.raises(CodecError):
+            decode_subscription(raw)
+
+    @given(filters())
+    def test_filter_roundtrip_property(self, filt):
+        decoded, _ = decode_filter(encode_filter(filt))
+        assert set(decoded.constraints) == set(filt.constraints)

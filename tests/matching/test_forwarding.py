@@ -1,0 +1,123 @@
+"""Forwarding (counting) matcher: index behaviour and edge cases."""
+
+from repro.ids import service_id_from_name
+from repro.matching.filters import Constraint, Filter, Op, Subscription
+from repro.matching.forwarding import ForwardingMatcher
+
+SID = service_id_from_name("s")
+
+
+def sub(sub_id, *filter_list):
+    return Subscription(sub_id, SID, list(filter_list))
+
+
+def match_ids(matcher, attrs):
+    return [s.sub_id for s in matcher.match(attrs)]
+
+
+class TestIndexing:
+    def test_counts_indexed_constraints(self):
+        matcher = ForwardingMatcher()
+        matcher.subscribe(sub(1, Filter.where("t", a=1, b=(">", 2))))
+        assert matcher.constraints_indexed == 3        # type + a + b
+
+    def test_equality_by_hash_across_int_float(self):
+        matcher = ForwardingMatcher()
+        matcher.subscribe(sub(1, Filter([Constraint("x", Op.EQ, 5)])))
+        assert match_ids(matcher, {"x": 5.0}) == [1]   # 5 == 5.0, same kind
+
+    def test_bool_does_not_satisfy_number_eq(self):
+        matcher = ForwardingMatcher()
+        matcher.subscribe(sub(1, Filter([Constraint("x", Op.EQ, 1)])))
+        assert match_ids(matcher, {"x": True}) == []
+
+    def test_ne_requires_same_kind(self):
+        matcher = ForwardingMatcher()
+        matcher.subscribe(sub(1, Filter([Constraint("x", Op.NE, 5)])))
+        assert match_ids(matcher, {"x": 6}) == [1]
+        assert match_ids(matcher, {"x": "six"}) == []
+
+    def test_order_ops_use_thresholds(self):
+        matcher = ForwardingMatcher()
+        matcher.subscribe(sub(1, Filter([Constraint("x", Op.LT, 10)])))
+        matcher.subscribe(sub(2, Filter([Constraint("x", Op.LE, 10)])))
+        matcher.subscribe(sub(3, Filter([Constraint("x", Op.GT, 10)])))
+        matcher.subscribe(sub(4, Filter([Constraint("x", Op.GE, 10)])))
+        assert match_ids(matcher, {"x": 10}) == [2, 4]
+        assert match_ids(matcher, {"x": 9}) == [1, 2]
+        assert match_ids(matcher, {"x": 11}) == [3, 4]
+
+    def test_string_order_separate_from_numbers(self):
+        matcher = ForwardingMatcher()
+        matcher.subscribe(sub(1, Filter([Constraint("x", Op.GT, "m")])))
+        matcher.subscribe(sub(2, Filter([Constraint("x", Op.GT, 5)])))
+        assert match_ids(matcher, {"x": "z"}) == [1]
+        assert match_ids(matcher, {"x": 50}) == [2]
+
+    def test_string_shape_ops(self):
+        matcher = ForwardingMatcher()
+        matcher.subscribe(sub(1, Filter([Constraint("s", Op.PREFIX, "he")])))
+        matcher.subscribe(sub(2, Filter([Constraint("s", Op.SUFFIX, "lo")])))
+        matcher.subscribe(sub(3, Filter([Constraint("s", Op.CONTAINS, "ell")])))
+        assert match_ids(matcher, {"s": "hello"}) == [1, 2, 3]
+        assert match_ids(matcher, {"s": "helper"}) == [1]
+
+    def test_bytes_string_ops(self):
+        matcher = ForwardingMatcher()
+        matcher.subscribe(sub(1, Filter([Constraint("s", Op.PREFIX, b"ab")])))
+        assert match_ids(matcher, {"s": b"abc"}) == [1]
+        assert match_ids(matcher, {"s": "abc"}) == []   # str != bytes
+
+    def test_duplicate_constraint_across_filters(self):
+        matcher = ForwardingMatcher()
+        shared = Constraint("x", Op.GT, 5)
+        matcher.subscribe(sub(1, Filter([shared])))
+        matcher.subscribe(sub(2, Filter([shared, Constraint("y", Op.EQ, 1)])))
+        assert match_ids(matcher, {"x": 10}) == [1]
+        assert match_ids(matcher, {"x": 10, "y": 1}) == [1, 2]
+
+
+class TestCounting:
+    def test_partial_satisfaction_does_not_match(self):
+        matcher = ForwardingMatcher()
+        matcher.subscribe(sub(1, Filter.where("t", a=1, b=2)))
+        assert match_ids(matcher, {"type": "t", "a": 1}) == []
+
+    def test_multiple_constraints_same_attribute(self):
+        matcher = ForwardingMatcher()
+        matcher.subscribe(sub(1, Filter([Constraint("x", Op.GT, 0),
+                                         Constraint("x", Op.LT, 10)])))
+        assert match_ids(matcher, {"x": 5}) == [1]
+        assert match_ids(matcher, {"x": 15}) == []
+
+    def test_extra_attributes_ignored(self):
+        matcher = ForwardingMatcher()
+        matcher.subscribe(sub(1, Filter.where("t")))
+        assert match_ids(matcher, {"type": "t", "noise": 7,
+                                   "more": "noise"}) == [1]
+
+
+class TestRemoval:
+    def test_unsubscribe_cleans_all_indexes(self):
+        matcher = ForwardingMatcher()
+        matcher.subscribe(sub(1, Filter([
+            Constraint("a", Op.EQ, 1), Constraint("b", Op.NE, 2),
+            Constraint("c", Op.GT, 3), Constraint("d", Op.PREFIX, "x"),
+            Constraint("e", Op.EXISTS)])))
+        matcher.unsubscribe(1)
+        assert matcher._attr_indexes == {}
+        assert matcher._filter_needs == {}
+        assert matcher._filter_sub == {}
+
+    def test_unsubscribe_leaves_others_matched(self):
+        matcher = ForwardingMatcher()
+        matcher.subscribe(sub(1, Filter([Constraint("x", Op.GT, 5)])))
+        matcher.subscribe(sub(2, Filter([Constraint("x", Op.GT, 5)])))
+        matcher.unsubscribe(1)
+        assert match_ids(matcher, {"x": 10}) == [2]
+
+    def test_empty_filter_removal(self):
+        matcher = ForwardingMatcher()
+        matcher.subscribe(sub(1, Filter()))
+        matcher.unsubscribe(1)
+        assert match_ids(matcher, {"anything": 1}) == []

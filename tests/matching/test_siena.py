@@ -1,0 +1,150 @@
+"""Siena reproduction: poset structure, subtree skipping, translation cost."""
+
+from repro.ids import service_id_from_name
+from repro.matching.filters import Constraint, Filter, Op, Subscription
+from repro.matching.siena import (
+    SienaAttributeValue,
+    SienaMatcher,
+    SienaNotification,
+    SienaTranslationBackend,
+)
+from repro.sim.hosts import SimHost, PDA_PROFILE
+
+SID = service_id_from_name("s")
+
+
+def sub(sub_id, *filter_list):
+    return Subscription(sub_id, SID, list(filter_list))
+
+
+class TestPoset:
+    def test_covered_filter_becomes_child(self):
+        matcher = SienaMatcher()
+        broad = Filter([Constraint("hr", Op.GT, 0)])
+        narrow = Filter([Constraint("hr", Op.GT, 100)])
+        matcher.subscribe(sub(1, broad))
+        matcher.subscribe(sub(2, narrow))
+        # Only the broad filter is a root.
+        assert len(matcher._roots) == 1
+        assert matcher.poset_depth() == 2
+
+    def test_insertion_order_does_not_matter(self):
+        for order in ([1, 2, 3], [3, 2, 1], [2, 3, 1]):
+            matcher = SienaMatcher()
+            filters_by_id = {
+                1: Filter([Constraint("hr", Op.GT, 0)]),
+                2: Filter([Constraint("hr", Op.GT, 100)]),
+                3: Filter([Constraint("hr", Op.GT, 200)]),
+            }
+            for sub_id in order:
+                matcher.subscribe(sub(sub_id, filters_by_id[sub_id]))
+            assert matcher.poset_depth() == 3, order
+            assert len(matcher._roots) == 1
+
+    def test_no_match_at_root_skips_subtree(self):
+        matcher = SienaMatcher()
+        matcher.subscribe(sub(1, Filter([Constraint("hr", Op.GT, 0)])))
+        for index in range(2, 12):
+            matcher.subscribe(sub(index, Filter(
+                [Constraint("hr", Op.GT, index * 10)])))
+        matcher.nodes_visited = 0
+        assert matcher.match({"bp": 120}) == []     # no hr attribute at all
+        # Only the root was inspected; the chain below was skipped.
+        assert matcher.nodes_visited == 1
+        assert matcher.subtrees_skipped == 1
+
+    def test_match_walks_only_matching_branches(self):
+        matcher = SienaMatcher()
+        matcher.subscribe(sub(1, Filter([Constraint("t", Op.EQ, "a")])))
+        matcher.subscribe(sub(2, Filter([Constraint("t", Op.EQ, "b")])))
+        matcher.nodes_visited = 0
+        matched = matcher.match({"t": "a"})
+        assert [s.sub_id for s in matched] == [1]
+        assert matcher.nodes_visited == 2           # both roots, no children
+
+    def test_removal_reattaches_orphans(self):
+        matcher = SienaMatcher()
+        top = Filter([Constraint("x", Op.GT, 0)])
+        middle = Filter([Constraint("x", Op.GT, 10)])
+        bottom = Filter([Constraint("x", Op.GT, 20)])
+        matcher.subscribe(sub(1, top))
+        matcher.subscribe(sub(2, middle))
+        matcher.subscribe(sub(3, bottom))
+        matcher.unsubscribe(2)
+        # Bottom must still be found through top.
+        assert [s.sub_id for s in matcher.match({"x": 50})] == [1, 3]
+        assert matcher.poset_depth() == 2
+
+    def test_removing_root_promotes_children(self):
+        matcher = SienaMatcher()
+        matcher.subscribe(sub(1, Filter([Constraint("x", Op.GT, 0)])))
+        matcher.subscribe(sub(2, Filter([Constraint("x", Op.GT, 10)])))
+        matcher.unsubscribe(1)
+        assert [s.sub_id for s in matcher.match({"x": 50})] == [2]
+        assert len(matcher._roots) == 1
+
+    def test_identical_filters_share_a_node(self):
+        matcher = SienaMatcher()
+        same = Filter([Constraint("x", Op.EQ, 1)])
+        matcher.subscribe(sub(1, same))
+        matcher.subscribe(sub(2, Filter([Constraint("x", Op.EQ, 1)])))
+        assert len(matcher._nodes) == 1
+        assert [s.sub_id for s in matcher.match({"x": 1})] == [1, 2]
+        matcher.unsubscribe(1)
+        assert [s.sub_id for s in matcher.match({"x": 1})] == [2]
+
+
+class TestTranslationObjects:
+    def test_attribute_value_boxes_types(self):
+        assert SienaAttributeValue(5).type_name == "long"
+        assert SienaAttributeValue(5.0).type_name == "double"
+        assert SienaAttributeValue("x").type_name == "string"
+        assert SienaAttributeValue(True).type_name == "bool"
+        assert SienaAttributeValue(b"x").type_name == "bytearray"
+
+    def test_notification_roundtrip(self):
+        attrs = {"hr": 120.5, "patient": "p-1", "alarm": True}
+        notification = SienaNotification.from_attr_map(attrs)
+        assert notification.to_attr_map() == attrs
+
+    def test_wire_size_scales_with_payload(self):
+        small = SienaNotification.from_attr_map({"data": b"x"})
+        large = SienaNotification.from_attr_map({"data": b"x" * 1000})
+        assert large.wire_size() - small.wire_size() == 999
+
+
+class TestTranslationBackend:
+    def test_counts_translated_bytes(self):
+        backend = SienaTranslationBackend()
+        backend.subscribe(sub(1, Filter.where("t", hr=(">", 10))))
+        before = backend.bytes_translated
+        backend.match({"type": "t", "hr": 50, "data": b"z" * 500})
+        assert backend.bytes_translated - before > 1500   # three passes
+
+    def test_charges_simulated_host(self, sim):
+        host = SimHost(sim, PDA_PROFILE, "pda")
+        backend = SienaTranslationBackend(meter=host)
+        backend.subscribe(sub(1, Filter.where("t")))
+        backend.match({"type": "t", "data": b"z" * 1000})
+        assert host.bytes_copied > 3000
+        assert host.cpu_seconds_used > 0
+
+    def test_same_results_as_inner(self):
+        backend = SienaTranslationBackend()
+        bare = SienaMatcher()
+        for index, filt in enumerate([Filter.where("a", x=(">", 1)),
+                                      Filter.where("b"),
+                                      Filter([Constraint("x", Op.EXISTS)])]):
+            backend.subscribe(sub(index + 1, filt))
+            bare.subscribe(sub(index + 1, filt))
+        for attrs in ({"type": "a", "x": 5}, {"type": "b"}, {"x": 0},
+                      {"type": "z"}):
+            assert ([s.sub_id for s in backend.match(attrs)]
+                    == [s.sub_id for s in bare.match(attrs)])
+
+    def test_unsubscribe_via_backend(self):
+        backend = SienaTranslationBackend()
+        backend.subscribe(sub(1, Filter.where("t")))
+        backend.unsubscribe(1)
+        assert backend.match({"type": "t"}) == []
+        assert len(backend.inner) == 0

@@ -1,0 +1,117 @@
+"""Type-based publish/subscribe (paper Section VI)."""
+
+import pytest
+
+from repro.errors import FilterError
+from repro.ids import service_id_from_name
+from repro.matching.filters import Constraint, Filter, Op, Subscription
+from repro.matching.typed import (
+    TypedMatcher,
+    is_subtype,
+    split_type,
+    typed_subscription,
+)
+
+SID = service_id_from_name("s")
+
+
+class TestTypeHierarchy:
+    def test_split(self):
+        assert split_type("health.hr.alarm") == ["health", "hr", "alarm"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(FilterError):
+            split_type("")
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(FilterError):
+            split_type("health..hr")
+
+    @pytest.mark.parametrize("candidate,ancestor,expected", [
+        ("health.hr", "health.hr", True),
+        ("health.hr.alarm", "health.hr", True),
+        ("health.hr.alarm", "health", True),
+        ("health.hr", "health.hr.alarm", False),
+        ("health.hrx", "health.hr", False),     # segments, not prefixes
+        ("smc.member", "health", False),
+    ])
+    def test_is_subtype(self, candidate, ancestor, expected):
+        assert is_subtype(candidate, ancestor) is expected
+
+
+class TestTypedMatcher:
+    def match_ids(self, matcher, attrs):
+        return [s.sub_id for s in matcher.match(attrs)]
+
+    def test_exact_type(self):
+        matcher = TypedMatcher()
+        matcher.subscribe(typed_subscription(1, SID, "health.hr"))
+        assert self.match_ids(matcher, {"type": "health.hr"}) == [1]
+
+    def test_subtype_polymorphism(self):
+        # The whole point of type-based pub/sub: subscribing to a type
+        # delivers its subtypes.
+        matcher = TypedMatcher()
+        matcher.subscribe(typed_subscription(1, SID, "health"))
+        assert self.match_ids(matcher, {"type": "health.hr.alarm"}) == [1]
+        assert self.match_ids(matcher, {"type": "health.bp"}) == [1]
+        assert self.match_ids(matcher, {"type": "smc.member.new"}) == []
+
+    def test_segment_boundaries_respected(self):
+        matcher = TypedMatcher()
+        matcher.subscribe(typed_subscription(1, SID, "health.hr"))
+        assert self.match_ids(matcher, {"type": "health.hrx"}) == []
+
+    def test_residual_content_filter(self):
+        matcher = TypedMatcher()
+        matcher.subscribe(typed_subscription(
+            1, SID, "health.hr", residual=Filter([Constraint("hr", Op.GT,
+                                                             120)])))
+        assert self.match_ids(matcher, {"type": "health.hr.alarm",
+                                        "hr": 150}) == [1]
+        assert self.match_ids(matcher, {"type": "health.hr.alarm",
+                                        "hr": 80}) == []
+
+    def test_untyped_subscription_matches_everything(self):
+        matcher = TypedMatcher()
+        matcher.subscribe(Subscription(1, SID,
+                                       [Filter([Constraint("x", Op.EXISTS)])]))
+        assert self.match_ids(matcher, {"type": "any.thing", "x": 1}) == [1]
+        assert self.match_ids(matcher, {"type": "any.thing"}) == []
+
+    def test_once_per_subscription_across_levels(self):
+        matcher = TypedMatcher()
+        matcher.subscribe(Subscription(1, SID, [
+            Filter([Constraint("type", Op.EQ, "health")]),
+            Filter([Constraint("type", Op.EQ, "health.hr")]),
+        ]))
+        assert self.match_ids(matcher, {"type": "health.hr"}) == [1]
+
+    def test_unsubscribe(self):
+        matcher = TypedMatcher()
+        matcher.subscribe(typed_subscription(1, SID, "health"))
+        matcher.subscribe(typed_subscription(2, SID, "health.hr"))
+        matcher.unsubscribe(1)
+        assert self.match_ids(matcher, {"type": "health.hr"}) == [2]
+
+    def test_two_type_constraints_rejected(self):
+        matcher = TypedMatcher()
+        bad = Subscription(1, SID, [Filter([
+            Constraint("type", Op.EQ, "a"),
+            Constraint("type", Op.EQ, "b")])])
+        with pytest.raises(FilterError):
+            matcher.subscribe(bad)
+
+    def test_non_string_type_rejected(self):
+        matcher = TypedMatcher()
+        bad = Subscription(1, SID, [Filter([Constraint("type", Op.EQ, 5)])])
+        with pytest.raises(FilterError):
+            matcher.subscribe(bad)
+
+    def test_deep_hierarchy(self):
+        matcher = TypedMatcher()
+        matcher.subscribe(typed_subscription(1, SID, "a.b.c.d.e"))
+        matcher.subscribe(typed_subscription(2, SID, "a.b"))
+        assert self.match_ids(matcher, {"type": "a.b.c.d.e.f"}) == [1, 2]
+        assert self.match_ids(matcher, {"type": "a.b.c"}) == [2]
+        assert self.match_ids(matcher, {"type": "a"}) == []

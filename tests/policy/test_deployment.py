@@ -1,0 +1,131 @@
+"""Policy deployment on discovery events (paper Section II-A)."""
+
+import pytest
+
+from repro.core.bus import EventBus
+from repro.core.events import (
+    NEW_MEMBER_TYPE,
+    POLICY_DEPLOYED_TYPE,
+    PURGE_MEMBER_TYPE,
+)
+from repro.errors import PolicyError
+from repro.ids import ServiceId
+from repro.matching.filters import Filter
+from repro.policy.deployment import PolicyDeployer
+from repro.policy.engine import PolicyEngine
+from repro.policy.model import ActionSpec, ObligationPolicy
+
+
+@pytest.fixture
+def setup(sim):
+    bus = EventBus(sim)
+    engine = PolicyEngine(bus)
+    deployer = PolicyDeployer(engine, bus)
+    discovery = bus.local_publisher("discovery")
+
+    def join(member_int, name, device_type):
+        discovery.publish(NEW_MEMBER_TYPE, {
+            "member": member_int, "name": name,
+            "device_type": device_type, "address": "-"})
+        sim.run_until_idle()
+
+    def leave(member_int, name="x"):
+        discovery.publish(PURGE_MEMBER_TYPE, {
+            "member": member_int, "name": name, "reason": "test"})
+        sim.run_until_idle()
+
+    return sim, bus, engine, deployer, join, leave
+
+
+def shared_policy(name="Shared"):
+    return ObligationPolicy(name=name, event_filter=Filter.where("health.hr"),
+                            actions=(ActionSpec("notify"),))
+
+
+class TestSharedPolicies:
+    def test_enabled_on_first_member_of_type(self, setup):
+        sim, bus, engine, deployer, join, leave = setup
+        deployer.register_shared("sensor.hr", [shared_policy()])
+        assert not engine.is_enabled("Shared")
+        join(101, "hr-1", "sensor.hr")
+        assert engine.is_enabled("Shared")
+
+    def test_stays_enabled_with_second_member(self, setup):
+        sim, bus, engine, deployer, join, leave = setup
+        deployer.register_shared("sensor.hr", [shared_policy()])
+        join(101, "hr-1", "sensor.hr")
+        join(102, "hr-2", "sensor.hr")
+        leave(101)
+        assert engine.is_enabled("Shared")
+
+    def test_disabled_when_last_member_leaves(self, setup):
+        sim, bus, engine, deployer, join, leave = setup
+        deployer.register_shared("sensor.hr", [shared_policy()])
+        join(101, "hr-1", "sensor.hr")
+        join(102, "hr-2", "sensor.hr")
+        leave(101)
+        leave(102)
+        assert not engine.is_enabled("Shared")
+        assert deployer.stats.retractions == 2
+
+    def test_unrelated_device_type_does_not_enable(self, setup):
+        sim, bus, engine, deployer, join, leave = setup
+        deployer.register_shared("sensor.hr", [shared_policy()])
+        join(101, "pump-1", "actuator.pump")
+        assert not engine.is_enabled("Shared")
+
+    def test_deployment_event_published(self, setup):
+        sim, bus, engine, deployer, join, leave = setup
+        deployed = []
+        bus.subscribe_local(Filter.where(POLICY_DEPLOYED_TYPE),
+                            deployed.append)
+        deployer.register_shared("sensor.hr", [shared_policy()])
+        join(101, "hr-1", "sensor.hr")
+        assert len(deployed) == 1
+        assert deployed[0].get("policies") == "Shared"
+
+
+class TestPerMemberTemplates:
+    def test_template_instantiated_per_member(self, setup):
+        sim, bus, engine, deployer, join, leave = setup
+
+        def template(member: ServiceId, name: str):
+            return [ObligationPolicy(
+                name=f"Watch-{name}",
+                event_filter=Filter.where("health.hr", patient=name),
+                actions=(ActionSpec("notify"),))]
+
+        deployer.register_template("sensor.hr", template)
+        join(101, "hr-1", "sensor.hr")
+        join(102, "hr-2", "sensor.hr")
+        assert engine.obligations() == ["Watch-hr-1", "Watch-hr-2"]
+
+    def test_template_policies_removed_on_purge(self, setup):
+        sim, bus, engine, deployer, join, leave = setup
+        deployer.register_template("sensor.hr", lambda m, n: [
+            ObligationPolicy(name=f"W-{n}",
+                             event_filter=Filter.where("t"),
+                             actions=(ActionSpec("a"),))])
+        join(101, "hr-1", "sensor.hr")
+        leave(101, "hr-1")
+        assert engine.obligations() == []
+
+    def test_duplicate_template_rejected(self, setup):
+        sim, bus, engine, deployer, join, leave = setup
+        deployer.register_template("t", lambda m, n: [])
+        with pytest.raises(PolicyError):
+            deployer.register_template("t", lambda m, n: [])
+
+    def test_purge_of_unknown_member_ignored(self, setup):
+        sim, bus, engine, deployer, join, leave = setup
+        leave(999)          # never joined; no exception
+
+    def test_duplicate_join_event_ignored(self, setup):
+        sim, bus, engine, deployer, join, leave = setup
+        deployer.register_template("sensor.hr", lambda m, n: [
+            ObligationPolicy(name=f"W-{n}",
+                             event_filter=Filter.where("t"),
+                             actions=(ActionSpec("a"),))])
+        join(101, "hr-1", "sensor.hr")
+        join(101, "hr-1", "sensor.hr")
+        assert engine.obligations() == ["W-hr-1"]

@@ -1,0 +1,233 @@
+"""Policy engine: ECA evaluation, authorisation, runtime management."""
+
+import pytest
+
+from repro.core.bus import EventBus
+from repro.core.events import POLICY_VIOLATION_TYPE
+from repro.errors import PolicyConflictError, PolicyError
+from repro.matching.filters import Constraint, Filter, Op
+from repro.policy.actions import ActionExecutor
+from repro.policy.engine import PolicyEngine
+from repro.policy.model import (
+    ActionSpec,
+    AttrRef,
+    AuthorisationPolicy,
+    ObligationPolicy,
+)
+
+
+@pytest.fixture
+def bus(sim):
+    return EventBus(sim)
+
+
+@pytest.fixture
+def engine(bus):
+    return PolicyEngine(bus)
+
+
+def oblig(name="R", event_type="t", condition=None, actions=None,
+          subject="s", target="d"):
+    return ObligationPolicy(
+        name=name, event_filter=Filter.where(event_type),
+        condition=condition,
+        actions=tuple(actions or [ActionSpec("act")]),
+        subject=subject, target=target)
+
+
+def command_log(bus, sim):
+    log = []
+    bus.subscribe_local(Filter.for_type_prefix("smc.cmd."), log.append)
+    return log
+
+
+class TestEvaluation:
+    def test_event_triggers_action(self, sim, bus, engine):
+        commands = command_log(bus, sim)
+        engine.add_obligation(oblig())
+        bus.local_publisher("p").publish("t")
+        sim.run_until_idle()
+        assert [c.type for c in commands] == ["smc.cmd.act"]
+        assert commands[0].get("target") == "d"
+
+    def test_condition_gates_action(self, sim, bus, engine):
+        commands = command_log(bus, sim)
+        engine.add_obligation(oblig(
+            condition=Filter([Constraint("hr", Op.GT, 100)])))
+        publisher = bus.local_publisher("p")
+        publisher.publish("t", {"hr": 90})
+        publisher.publish("t", {"hr": 150})
+        sim.run_until_idle()
+        assert len(commands) == 1
+        assert engine.stats.conditions_failed == 1
+
+    def test_actions_run_in_sequence(self, sim, bus, engine):
+        commands = command_log(bus, sim)
+        engine.add_obligation(oblig(actions=[ActionSpec("first"),
+                                             ActionSpec("second")]))
+        bus.local_publisher("p").publish("t")
+        sim.run_until_idle()
+        assert [c.type for c in commands] == ["smc.cmd.first",
+                                              "smc.cmd.second"]
+
+    def test_attr_refs_resolved_from_event(self, sim, bus, engine):
+        commands = command_log(bus, sim)
+        engine.add_obligation(oblig(actions=[
+            ActionSpec("act", params=(("value", AttrRef("hr")),))]))
+        bus.local_publisher("p").publish("t", {"hr": 133.5})
+        sim.run_until_idle()
+        assert commands[0].get("value") == 133.5
+
+    def test_missing_attr_ref_counts_failure(self, sim, bus, engine):
+        commands = command_log(bus, sim)
+        engine.add_obligation(oblig(actions=[
+            ActionSpec("act", params=(("value", AttrRef("missing")),))]))
+        bus.local_publisher("p").publish("t")
+        sim.run_until_idle()
+        assert commands == []
+        assert engine.stats.action_failures == 1
+
+    def test_local_handler_replaces_command_event(self, sim, bus, engine):
+        commands = command_log(bus, sim)
+        called = []
+        engine.executor.register_handler(
+            "act", lambda target, params: called.append((target, params)))
+        engine.add_obligation(oblig())
+        bus.local_publisher("p").publish("t")
+        sim.run_until_idle()
+        assert called == [("d", {})]
+        assert commands == []
+
+    def test_action_target_override(self, sim, bus, engine):
+        commands = command_log(bus, sim)
+        engine.add_obligation(oblig(actions=[
+            ActionSpec("act", target="pump")]))
+        bus.local_publisher("p").publish("t")
+        sim.run_until_idle()
+        assert commands[0].get("target") == "pump"
+
+
+class TestAuthorisation:
+    def test_negative_blocks_and_reports(self, sim, bus, engine):
+        commands = command_log(bus, sim)
+        violations = []
+        bus.subscribe_local(Filter.where(POLICY_VIOLATION_TYPE),
+                            violations.append)
+        engine.add_authorisation(AuthorisationPolicy(
+            "No", positive=False, subject="s", target="d",
+            operations=("act",)))
+        engine.add_obligation(oblig())
+        bus.local_publisher("p").publish("t")
+        sim.run_until_idle()
+        assert commands == []
+        assert engine.stats.actions_denied == 1
+        assert len(violations) == 1
+        assert violations[0].get("policy") == "R"
+
+    def test_negative_overrides_positive(self, engine):
+        engine.add_authorisation(AuthorisationPolicy(
+            "Yes", positive=True, subject="s", target="d",
+            operations=("act",)))
+        engine.add_authorisation(AuthorisationPolicy(
+            "No", positive=False, subject="s", target="d",
+            operations=("act",)))
+        assert not engine.is_authorised("s", "d", "act")
+
+    def test_default_allow(self, engine):
+        assert engine.is_authorised("anyone", "anything", "whatever")
+
+    def test_default_deny_mode(self, bus):
+        engine = PolicyEngine(bus, default_authorise=False)
+        assert not engine.is_authorised("s", "d", "act")
+        engine.add_authorisation(AuthorisationPolicy(
+            "Yes", positive=True, subject="s", target="d",
+            operations=("act",)))
+        assert engine.is_authorised("s", "d", "act")
+        assert not engine.is_authorised("s", "other", "act")
+
+    def test_wildcard_operations(self, engine):
+        engine.add_authorisation(AuthorisationPolicy(
+            "No", positive=False, subject="s", target="pump",
+            operations=("*",)))
+        assert not engine.is_authorised("s", "pump", "anything")
+
+    def test_duplicate_authorisation_rejected(self, engine):
+        auth = AuthorisationPolicy("A", positive=True, subject="s",
+                                   target="d", operations=("x",))
+        engine.add_authorisation(auth)
+        with pytest.raises(PolicyConflictError):
+            engine.add_authorisation(auth)
+
+
+class TestRuntimeManagement:
+    def test_disable_stops_evaluation(self, sim, bus, engine):
+        commands = command_log(bus, sim)
+        engine.add_obligation(oblig())
+        engine.disable("R")
+        bus.local_publisher("p").publish("t")
+        sim.run_until_idle()
+        assert commands == []
+        assert not engine.is_enabled("R")
+
+    def test_enable_resumes(self, sim, bus, engine):
+        commands = command_log(bus, sim)
+        engine.add_obligation(oblig())
+        engine.disable("R")
+        engine.enable("R")
+        bus.local_publisher("p").publish("t")
+        sim.run_until_idle()
+        assert len(commands) == 1
+
+    def test_remove_policy(self, sim, bus, engine):
+        commands = command_log(bus, sim)
+        engine.add_obligation(oblig())
+        engine.remove_obligation("R")
+        bus.local_publisher("p").publish("t")
+        sim.run_until_idle()
+        assert commands == []
+        assert engine.obligations() == []
+
+    def test_duplicate_name_rejected(self, engine):
+        engine.add_obligation(oblig())
+        with pytest.raises(PolicyConflictError):
+            engine.add_obligation(oblig())
+
+    def test_unknown_name_rejected(self, engine):
+        with pytest.raises(PolicyError):
+            engine.enable("ghost")
+        with pytest.raises(PolicyError):
+            engine.remove_obligation("ghost")
+
+    def test_enable_disable_idempotent(self, sim, bus, engine):
+        engine.add_obligation(oblig())
+        engine.enable("R")            # already enabled: no double sub
+        bus.local_publisher("p").publish("t")
+        sim.run_until_idle()
+        assert engine.stats.events_evaluated == 1
+        engine.disable("R")
+        engine.disable("R")
+
+
+class TestActionExecutor:
+    def test_reserved_target_param_rejected(self, bus):
+        executor = ActionExecutor(bus)
+        with pytest.raises(PolicyError):
+            executor.execute("op", "role", {"target": "smuggled"})
+
+    def test_duplicate_handler_rejected(self, bus):
+        executor = ActionExecutor(bus)
+        executor.register_handler("op", lambda t, p: None)
+        with pytest.raises(PolicyError):
+            executor.register_handler("op", lambda t, p: None)
+
+    def test_unregister_handler(self, sim, bus):
+        executor = ActionExecutor(bus)
+        executor.register_handler("op", lambda t, p: None)
+        executor.unregister_handler("op")
+        commands = command_log(bus, sim)
+        executor.execute("op", "role", {})
+        sim.run_until_idle()
+        assert len(commands) == 1
+
+    def test_command_type_helper(self, bus):
+        assert ActionExecutor(bus).command_type("dose") == "smc.cmd.dose"

@@ -1,0 +1,177 @@
+"""The Ponder-lite parser."""
+
+import pytest
+
+from repro.errors import PolicyParseError
+from repro.matching.filters import Op
+from repro.policy.language import parse_policies
+from repro.policy.model import AttrRef
+
+
+class TestObligations:
+    def test_minimal(self):
+        result = parse_policies(
+            'inst oblig R { on health.hr ; do notify() ; }')
+        policy = result.obligation("R")
+        assert policy.subject == "smc" and policy.target == "smc"
+        assert policy.condition is None
+        assert policy.actions[0].operation == "notify"
+        assert policy.event_filter.matches({"type": "health.hr"})
+
+    def test_full_clause_set(self):
+        result = parse_policies('''
+            inst oblig Tachy {
+                on health.hr ;
+                if hr > 120 and patient = "p-1" ;
+                do notify(msg="hi", hr=$hr) -> log(sev=2) ;
+                subject monitor ;
+                target nurse ;
+            }''')
+        policy = result.obligation("Tachy")
+        assert policy.subject == "monitor"
+        assert policy.target == "nurse"
+        assert len(policy.actions) == 2
+        assert policy.condition.matches({"hr": 130, "patient": "p-1"})
+        assert not policy.condition.matches({"hr": 130, "patient": "p-2"})
+
+    def test_type_subtree(self):
+        result = parse_policies('inst oblig R { on health.* ; do a() ; }')
+        filt = result.obligation("R").event_filter
+        assert filt.matches({"type": "health.hr"})
+        assert not filt.matches({"type": "smc.cmd.x"})
+
+    def test_any_event(self):
+        result = parse_policies('inst oblig R { on * ; do a() ; }')
+        assert result.obligation("R").event_filter.matches({"type": "zzz"})
+
+    def test_all_comparison_operators(self):
+        result = parse_policies('''
+            inst oblig R {
+                on t ;
+                if a = 1 and b != 2 and c < 3 and d <= 4 and e > 5
+                   and f >= 6 and g prefix "x" and h suffix "y"
+                   and i contains "z" and j exists ;
+                do act() ;
+            }''')
+        ops = {c.name: c.op for c in result.obligation("R").condition}
+        assert ops == {"a": Op.EQ, "b": Op.NE, "c": Op.LT, "d": Op.LE,
+                       "e": Op.GT, "f": Op.GE, "g": Op.PREFIX,
+                       "h": Op.SUFFIX, "i": Op.CONTAINS, "j": Op.EXISTS}
+
+    def test_literal_types(self):
+        result = parse_policies('''
+            inst oblig R {
+                on t ;
+                if a = 1 and b = 1.5 and c = "text" and d = true
+                   and e = false and f = -3 and g = bareword ;
+                do act() ;
+            }''')
+        values = {c.name: c.value for c in result.obligation("R").condition}
+        assert values == {"a": 1, "b": 1.5, "c": "text", "d": True,
+                          "e": False, "f": -3, "g": "bareword"}
+
+    def test_action_params_and_refs(self):
+        result = parse_policies(
+            'inst oblig R { on t ; do act(x=1, y=$hr, z="s") ; }')
+        action = result.obligation("R").actions[0]
+        assert dict(action.params) == {"x": 1, "y": AttrRef("hr"), "z": "s"}
+
+    def test_action_target_override(self):
+        result = parse_policies(
+            'inst oblig R { on t ; do act(target=pump, dose=1) ; }')
+        action = result.obligation("R").actions[0]
+        assert action.target == "pump"
+        assert dict(action.params) == {"dose": 1}
+
+    def test_comments_ignored(self):
+        result = parse_policies('''
+            // a line comment
+            # another comment style
+            inst oblig R { on t ; do a() ; }   // trailing
+        ''')
+        assert result.obligation("R")
+
+    def test_missing_on_clause_rejected(self):
+        with pytest.raises(PolicyParseError):
+            parse_policies('inst oblig R { do a() ; }')
+
+    def test_missing_do_clause_rejected(self):
+        with pytest.raises(PolicyParseError):
+            parse_policies('inst oblig R { on t ; }')
+
+    def test_unknown_clause_rejected(self):
+        with pytest.raises(PolicyParseError):
+            parse_policies('inst oblig R { on t ; wat x ; do a() ; }')
+
+    def test_error_carries_location(self):
+        try:
+            parse_policies('inst oblig R {\n  on t \n  do a() ; }')
+        except PolicyParseError as exc:
+            assert exc.line == 3       # the missing ';' is noticed at 'do'
+        else:
+            pytest.fail("expected a parse error")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(PolicyParseError):
+            parse_policies('@@@@')
+
+
+class TestAuthorisations:
+    def test_positive(self):
+        result = parse_policies(
+            'auth+ A { subject s ; target t ; action op1, op2 ; }')
+        auth = result.authorisations[0]
+        assert auth.positive
+        assert auth.operations == ("op1", "op2")
+
+    def test_negative(self):
+        result = parse_policies(
+            'auth- D { subject s ; target t ; action * ; }')
+        auth = result.authorisations[0]
+        assert not auth.positive
+        assert auth.operations == ("*",)
+
+    def test_wildcard_roles(self):
+        result = parse_policies(
+            'auth- D { subject * ; target pump ; action * ; }')
+        auth = result.authorisations[0]
+        assert auth.applies("anything", "pump", "dose")
+        assert not auth.applies("anything", "nurse", "dose")
+
+    def test_incomplete_rejected(self):
+        with pytest.raises(PolicyParseError):
+            parse_policies('auth+ A { subject s ; }')
+
+
+class TestRoles:
+    def test_role_assignment(self):
+        result = parse_policies('role nurse : nurse.pda, display.wall ;')
+        assert result.roles.device_types("nurse") == {"nurse.pda",
+                                                      "display.wall"}
+        assert result.roles.roles_of("nurse.pda") == {"nurse"}
+
+    def test_multiple_roles_merge(self):
+        result = parse_policies('''
+            role a : t1 ;
+            role a : t2 ;
+            role b : t1 ;
+        ''')
+        assert result.roles.device_types("a") == {"t1", "t2"}
+        assert result.roles.roles_of("t1") == {"a", "b"}
+
+
+class TestWholeFiles:
+    def test_mixed_document(self):
+        result = parse_policies('''
+            role nurse : nurse.pda ;
+            inst oblig A { on t1 ; do x() ; }
+            auth+ P { subject s ; target t ; action x ; }
+            inst oblig B { on t2 ; do y() ; }
+            auth- N { subject s ; target t ; action y ; }
+        ''')
+        assert [p.name for p in result.obligations] == ["A", "B"]
+        assert [p.name for p in result.authorisations] == ["P", "N"]
+
+    def test_empty_document(self):
+        result = parse_policies("   \n  // nothing\n")
+        assert result.obligations == [] and result.authorisations == []

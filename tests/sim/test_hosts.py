@@ -1,0 +1,100 @@
+"""Host CPU cost model: serial occupancy, charge accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.hosts import (
+    LAPTOP_PROFILE,
+    PDA_PROFILE,
+    SENSOR_PROFILE,
+    HostProfile,
+    NullCostMeter,
+    SimHost,
+)
+
+
+class TestHostProfile:
+    def test_packet_cost_combines_fixed_and_per_byte(self):
+        profile = HostProfile("t", per_packet_s=1e-3, per_byte_s=1e-6,
+                              sw_byte_s=0.0, match_base_s=0.0)
+        assert profile.packet_cost(1000) == pytest.approx(2e-3)
+
+    def test_copy_cost_uses_software_path(self):
+        profile = HostProfile("t", per_packet_s=0.0, per_byte_s=1e-6,
+                              sw_byte_s=1e-5, match_base_s=0.0)
+        assert profile.copy_cost(100) == pytest.approx(1e-3)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HostProfile("t", per_packet_s=-1.0, per_byte_s=0.0,
+                        sw_byte_s=0.0, match_base_s=0.0)
+
+    def test_pda_software_copies_cost_more_than_kernel_copies(self):
+        # The paper's central observation, encoded as an invariant.
+        assert PDA_PROFILE.sw_byte_s > 5 * PDA_PROFILE.per_byte_s
+
+    def test_pda_slower_than_laptop(self):
+        assert PDA_PROFILE.per_packet_s > LAPTOP_PROFILE.per_packet_s
+        assert PDA_PROFILE.sw_byte_s > LAPTOP_PROFILE.sw_byte_s
+
+    def test_sensor_profile_has_no_matching_cost(self):
+        assert SENSOR_PROFILE.match_base_s == 0.0
+
+
+class TestSimHost:
+    def test_occupy_serialises_work(self, sim):
+        host = SimHost(sim, LAPTOP_PROFILE, "h")
+        first = host.occupy(1.0)
+        second = host.occupy(2.0)
+        assert first == pytest.approx(1.0)
+        assert second == pytest.approx(3.0)
+
+    def test_ready_time_after_idle_is_now(self, sim):
+        host = SimHost(sim, LAPTOP_PROFILE, "h")
+        host.occupy(1.0)
+        sim.call_later(5.0, lambda: None)
+        sim.run_until_idle()
+        assert host.ready_time() == pytest.approx(5.0)
+
+    def test_charge_packet_counts(self, sim):
+        host = SimHost(sim, PDA_PROFILE, "h")
+        host.charge_packet(100)
+        host.charge_packet(200)
+        assert host.packets_handled == 2
+        assert host.cpu_seconds_used == pytest.approx(
+            PDA_PROFILE.packet_cost(100) + PDA_PROFILE.packet_cost(200))
+
+    def test_charge_copy_counts_bytes(self, sim):
+        host = SimHost(sim, PDA_PROFILE, "h")
+        host.charge_copy(500)
+        assert host.bytes_copied == 500
+        assert host.cpu_seconds_used == pytest.approx(
+            PDA_PROFILE.copy_cost(500))
+
+    def test_charge_match_uses_base_cost(self, sim):
+        host = SimHost(sim, PDA_PROFILE, "h")
+        host.charge_match()
+        assert host.matches_charged == 1
+        assert host.cpu_seconds_used == pytest.approx(PDA_PROFILE.match_base_s)
+
+    def test_negative_charge_rejected(self, sim):
+        host = SimHost(sim, LAPTOP_PROFILE, "h")
+        with pytest.raises(ConfigurationError):
+            host.charge_seconds(-0.5)
+
+    def test_run_when_free_waits_for_cpu(self, sim):
+        host = SimHost(sim, LAPTOP_PROFILE, "h")
+        host.occupy(2.0)
+        moments = []
+        host.run_when_free(1.0, lambda: moments.append(sim.now()))
+        sim.run_until_idle()
+        assert moments == [pytest.approx(3.0)]
+
+
+class TestNullCostMeter:
+    def test_all_charges_are_noops(self):
+        meter = NullCostMeter()
+        meter.charge_seconds(5.0)
+        meter.charge_copy(1000)
+        meter.charge_packet(1000)
+        meter.charge_match()

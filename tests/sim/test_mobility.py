@@ -1,0 +1,74 @@
+"""Mobility models: interpolation and the nurse walk-away scenario."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.mobility import LinearPath, StaticPosition, WalkAway
+
+
+class TestStaticPosition:
+    def test_never_moves(self):
+        pos = StaticPosition(3.0, 4.0)
+        assert pos(0.0) == (3.0, 4.0)
+        assert pos(1e9) == (3.0, 4.0)
+
+
+class TestLinearPath:
+    def test_holds_first_position_before_start(self):
+        path = LinearPath([(10.0, 0.0, 0.0), (20.0, 100.0, 0.0)])
+        assert path(0.0) == (0.0, 0.0)
+
+    def test_holds_last_position_after_end(self):
+        path = LinearPath([(10.0, 0.0, 0.0), (20.0, 100.0, 0.0)])
+        assert path(99.0) == (100.0, 0.0)
+
+    def test_interpolates_linearly(self):
+        path = LinearPath([(0.0, 0.0, 0.0), (10.0, 100.0, 50.0)])
+        x, y = path(5.0)
+        assert x == pytest.approx(50.0)
+        assert y == pytest.approx(25.0)
+
+    def test_multi_segment(self):
+        path = LinearPath([(0.0, 0.0, 0.0), (10.0, 100.0, 0.0),
+                           (20.0, 100.0, 100.0)])
+        assert path(15.0) == (pytest.approx(100.0), pytest.approx(50.0))
+
+    def test_needs_two_waypoints(self):
+        with pytest.raises(ConfigurationError):
+            LinearPath([(0.0, 0.0, 0.0)])
+
+    def test_times_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            LinearPath([(5.0, 0.0, 0.0), (5.0, 1.0, 0.0)])
+
+
+class TestWalkAway:
+    def test_home_before_leaving(self):
+        walk = WalkAway(t_leave=10.0, t_return=30.0, distance=100.0)
+        assert walk(5.0) == (0.0, 0.0)
+
+    def test_away_in_the_middle(self):
+        walk = WalkAway(t_leave=10.0, t_return=30.0, distance=100.0,
+                        walk_s=2.0)
+        x, y = walk(20.0)
+        assert x == pytest.approx(100.0)
+
+    def test_home_after_returning(self):
+        walk = WalkAway(t_leave=10.0, t_return=30.0, distance=100.0)
+        assert walk(31.0) == (0.0, 0.0)
+
+    def test_short_absence_still_works(self):
+        # Absence shorter than twice the walking time: no dwell segment.
+        walk = WalkAway(t_leave=10.0, t_return=14.0, distance=50.0,
+                        walk_s=10.0)
+        assert walk(12.0)[0] == pytest.approx(50.0)
+        assert walk(14.5) == (0.0, 0.0)
+
+    def test_return_must_follow_leave(self):
+        with pytest.raises(ConfigurationError):
+            WalkAway(t_leave=10.0, t_return=10.0)
+
+    def test_custom_home(self):
+        walk = WalkAway(t_leave=1.0, t_return=5.0, distance=10.0,
+                        home=(7.0, 8.0))
+        assert walk(0.0) == (7.0, 8.0)

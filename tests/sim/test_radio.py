@@ -1,0 +1,266 @@
+"""The simulated network: delivery, latency, loss, range, fragmentation."""
+
+import pytest
+
+from repro.errors import AddressError, ConfigurationError, TransportError
+from repro.sim.hosts import LAPTOP_PROFILE, SENSOR_PROFILE, SimHost
+from repro.sim.kernel import Simulator
+from repro.sim.radio import (
+    BLUETOOTH,
+    USB_IP,
+    WIFI_11B,
+    ZIGBEE,
+    LinkProfile,
+    SimNetwork,
+)
+from repro.sim.rng import RngRegistry
+
+
+def make_net(sim, profile=WIFI_11B, seed=5):
+    network = SimNetwork(sim, RngRegistry(seed))
+    medium = network.add_medium("m", profile)
+    return network, medium
+
+
+def attach(network, medium, sim, name, position=(0.0, 0.0)):
+    network.attach(name, SimHost(sim, LAPTOP_PROFILE, name), medium, position)
+
+
+class TestLinkProfile:
+    def test_bad_latency_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkProfile("x", latency_mean_s=1.0, latency_min_s=2.0,
+                        latency_max_s=3.0, bandwidth_bps=1000.0)
+
+    def test_loss_rate_must_be_probability(self):
+        with pytest.raises(ConfigurationError):
+            LinkProfile("x", latency_mean_s=1.0, latency_min_s=0.5,
+                        latency_max_s=2.0, bandwidth_bps=1000.0,
+                        loss_rate=1.5)
+
+    def test_fragment_count(self):
+        assert USB_IP.fragments(0) == 1
+        assert USB_IP.fragments(1472) == 1
+        assert USB_IP.fragments(1473) == 2
+        assert USB_IP.fragments(5000) == 4
+
+    def test_zigbee_has_tiny_mtu(self):
+        assert ZIGBEE.mtu < BLUETOOTH.mtu < USB_IP.mtu
+
+    def test_latency_samples_within_bounds(self):
+        import random
+        rng = random.Random(3)
+        for _ in range(500):
+            sample = USB_IP.sample_latency(rng)
+            assert USB_IP.latency_min_s <= sample <= USB_IP.latency_max_s
+
+    def test_serialisation_time(self):
+        assert USB_IP.serialisation_time(640_000) == pytest.approx(1.0)
+
+
+class TestDelivery:
+    def test_unicast_delivers_payload(self, sim):
+        network, medium = make_net(sim)
+        attach(network, medium, sim, "a")
+        attach(network, medium, sim, "b")
+        got = []
+        network.set_receiver("b", lambda src, data: got.append((src, data)))
+        network.send("a", "b", b"hello")
+        sim.run_until_idle()
+        assert got == [("a", b"hello")]
+
+    def test_delivery_takes_time(self, sim):
+        network, medium = make_net(sim)
+        attach(network, medium, sim, "a")
+        attach(network, medium, sim, "b")
+        moments = []
+        network.set_receiver("b", lambda src, data: moments.append(sim.now()))
+        network.send("a", "b", b"x" * 100)
+        sim.run_until_idle()
+        assert moments[0] >= WIFI_11B.latency_min_s
+
+    def test_unknown_node_rejected(self, sim):
+        network, medium = make_net(sim)
+        attach(network, medium, sim, "a")
+        with pytest.raises(AddressError):
+            network.send("a", "ghost", b"x")
+
+    def test_cross_medium_send_rejected(self, sim):
+        network = SimNetwork(sim, RngRegistry(1))
+        m1 = network.add_medium("m1", WIFI_11B)
+        m2 = network.add_medium("m2", WIFI_11B)
+        network.attach("a", SimHost(sim, LAPTOP_PROFILE, "a"), m1)
+        network.attach("b", SimHost(sim, LAPTOP_PROFILE, "b"), m2)
+        with pytest.raises(TransportError):
+            network.send("a", "b", b"x")
+
+    def test_duplicate_node_name_rejected(self, sim):
+        network, medium = make_net(sim)
+        attach(network, medium, sim, "a")
+        with pytest.raises(ConfigurationError):
+            attach(network, medium, sim, "a")
+
+    def test_down_node_receives_nothing(self, sim):
+        network, medium = make_net(sim)
+        attach(network, medium, sim, "a")
+        attach(network, medium, sim, "b")
+        got = []
+        network.set_receiver("b", lambda src, data: got.append(data))
+        network.set_node_up("b", False)
+        network.send("a", "b", b"x")
+        sim.run_until_idle()
+        assert got == []
+        assert network.datagrams_dropped == 1
+
+    def test_blocked_link_drops(self, sim):
+        network, medium = make_net(sim)
+        attach(network, medium, sim, "a")
+        attach(network, medium, sim, "b")
+        got = []
+        network.set_receiver("b", lambda src, data: got.append(data))
+        network.set_link_blocked("a", "b", True)
+        network.send("a", "b", b"x")
+        sim.run_until_idle()
+        assert got == []
+        network.set_link_blocked("a", "b", False)
+        network.send("a", "b", b"y")
+        sim.run_until_idle()
+        assert got == [b"y"]
+
+    def test_larger_payloads_arrive_later(self, sim):
+        network, medium = make_net(sim, profile=USB_IP)
+        attach(network, medium, sim, "a")
+        attach(network, medium, sim, "b")
+        arrivals = {}
+        network.set_receiver("b",
+                             lambda src, data: arrivals.setdefault(
+                                 len(data), sim.now()))
+        network.send("a", "b", b"s" * 10)
+        sim.run_until_idle()
+        start = sim.now()
+        network.send("a", "b", b"L" * 5000)
+        sim.run_until_idle()
+        small = arrivals[10]
+        large = arrivals[5000] - start
+        assert large > small
+
+
+class TestLoss:
+    def test_lossy_link_drops_some(self, sim):
+        lossy = LinkProfile("lossy", latency_mean_s=1e-3,
+                            latency_min_s=0.5e-3, latency_max_s=2e-3,
+                            bandwidth_bps=1e6, loss_rate=0.5)
+        network, medium = make_net(sim, profile=lossy)
+        attach(network, medium, sim, "a")
+        attach(network, medium, sim, "b")
+        got = []
+        network.set_receiver("b", lambda src, data: got.append(data))
+        for _ in range(200):
+            network.send("a", "b", b"x")
+        sim.run_until_idle()
+        assert 40 < len(got) < 160          # ~50% each way, seeded
+        assert network.datagrams_dropped == 200 - len(got)
+
+    def test_fragmented_payload_loses_whole_datagram(self, sim):
+        lossy = LinkProfile("lossy", latency_mean_s=1e-3,
+                            latency_min_s=0.5e-3, latency_max_s=2e-3,
+                            bandwidth_bps=1e6, loss_rate=0.3, mtu=100)
+        network, medium = make_net(sim, profile=lossy)
+        attach(network, medium, sim, "a")
+        attach(network, medium, sim, "b")
+        got = []
+        network.set_receiver("b", lambda src, data: got.append(data))
+        for _ in range(50):
+            network.send("a", "b", b"z" * 450)   # 5 fragments each
+        sim.run_until_idle()
+        # Whatever arrives must be complete — never a partial payload.
+        assert all(len(data) == 450 for data in got)
+        # 5 fragments at 30% loss: P(survive) ~ 0.17, so most are lost.
+        assert len(got) < 25
+
+
+class TestRangeAndBroadcast:
+    def test_out_of_range_unicast_drops(self, sim):
+        network, medium = make_net(sim)   # WiFi range 50 m
+        attach(network, medium, sim, "a", position=(0.0, 0.0))
+        attach(network, medium, sim, "far", position=(500.0, 0.0))
+        got = []
+        network.set_receiver("far", lambda src, data: got.append(data))
+        network.send("a", "far", b"x")
+        sim.run_until_idle()
+        assert got == []
+
+    def test_wired_medium_ignores_range(self, sim):
+        network, medium = make_net(sim, profile=USB_IP)
+        attach(network, medium, sim, "a", position=(0.0, 0.0))
+        attach(network, medium, sim, "far", position=(1e6, 0.0))
+        got = []
+        network.set_receiver("far", lambda src, data: got.append(data))
+        network.send("a", "far", b"x")
+        sim.run_until_idle()
+        assert got == [b"x"]
+
+    def test_broadcast_reaches_only_in_range(self, sim):
+        network, medium = make_net(sim)
+        attach(network, medium, sim, "src", position=(0.0, 0.0))
+        attach(network, medium, sim, "near", position=(10.0, 0.0))
+        attach(network, medium, sim, "far", position=(400.0, 0.0))
+        got = {"near": [], "far": []}
+        network.set_receiver("near", lambda s, d: got["near"].append(d))
+        network.set_receiver("far", lambda s, d: got["far"].append(d))
+        launched = network.broadcast("src", b"beacon")
+        sim.run_until_idle()
+        assert launched == 1
+        assert got["near"] == [b"beacon"]
+        assert got["far"] == []
+
+    def test_broadcast_excludes_sender(self, sim):
+        network, medium = make_net(sim)
+        attach(network, medium, sim, "src")
+        got = []
+        network.set_receiver("src", lambda s, d: got.append(d))
+        network.broadcast("src", b"x")
+        sim.run_until_idle()
+        assert got == []
+
+    def test_mobility_changes_reachability(self, sim):
+        from repro.sim.mobility import LinearPath
+        network, medium = make_net(sim)
+        attach(network, medium, sim, "base", position=(0.0, 0.0))
+        path = LinearPath([(0.0, 0.0, 0.0), (10.0, 1000.0, 0.0)])
+        network.attach("walker", SimHost(sim, SENSOR_PROFILE, "walker"),
+                       medium, path)
+        got = []
+        network.set_receiver("walker", lambda s, d: got.append(sim.now()))
+        network.send("base", "walker", b"early")     # t=0, in range
+        sim.run_until_idle()
+        sim.run(8.0)                                  # walker now ~800m away
+        network.send("base", "walker", b"late")
+        sim.run_until_idle()
+        assert len(got) == 1
+
+
+class TestStats:
+    def test_counters(self, sim):
+        network, medium = make_net(sim)
+        attach(network, medium, sim, "a")
+        attach(network, medium, sim, "b")
+        network.set_receiver("b", lambda s, d: None)
+        network.send("a", "b", b"12345")
+        sim.run_until_idle()
+        assert network.datagrams_sent == 1
+        assert network.datagrams_delivered == 1
+        assert network.bytes_delivered == 5
+
+    def test_latency_probe(self, sim):
+        network, medium = make_net(sim, profile=USB_IP)
+        attach(network, medium, sim, "a")
+        attach(network, medium, sim, "b")
+        network.set_receiver("b", lambda s, d: None)
+        network.latency_probe = []
+        for _ in range(50):
+            network.send("a", "b", b"x")
+        sim.run_until_idle()
+        assert len(network.latency_probe) == 50
+        assert all(USB_IP.latency_min_s <= v <= USB_IP.latency_max_s
+                   for v in network.latency_probe)

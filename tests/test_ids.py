@@ -1,0 +1,107 @@
+"""ServiceId: the 48-bit identifiers of paper Section IV."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.ids import (
+    ServiceId,
+    service_id_address,
+    service_id_from_name,
+    service_id_from_socket,
+)
+
+
+class TestServiceId:
+    def test_is_an_int(self):
+        assert ServiceId(42) == 42
+        assert isinstance(ServiceId(42), int)
+
+    def test_rejects_negative(self):
+        with pytest.raises(AddressError):
+            ServiceId(-1)
+
+    def test_rejects_over_48_bits(self):
+        with pytest.raises(AddressError):
+            ServiceId(1 << 48)
+
+    def test_accepts_max_48_bit_value(self):
+        assert ServiceId((1 << 48) - 1) == (1 << 48) - 1
+
+    def test_rejects_bool(self):
+        with pytest.raises(AddressError):
+            ServiceId(True)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(AddressError):
+            ServiceId("7")
+
+    def test_str_is_colon_hex(self):
+        assert str(ServiceId(0x0A0000011F90)) == "0a:00:00:01:1f:90"
+
+    def test_repr_contains_hex_form(self):
+        assert "0a:00:00:01:1f:90" in repr(ServiceId(0x0A0000011F90))
+
+    def test_wire_roundtrip(self):
+        original = ServiceId(0x123456789ABC)
+        assert ServiceId.from_bytes48(original.to_bytes48()) == original
+
+    def test_wire_form_is_six_bytes(self):
+        assert len(ServiceId(7).to_bytes48()) == 6
+
+    def test_from_bytes_rejects_wrong_length(self):
+        with pytest.raises(AddressError):
+            ServiceId.from_bytes48(b"\x00\x01")
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_wire_roundtrip_property(self, value):
+        assert ServiceId.from_bytes48(ServiceId(value).to_bytes48()) == value
+
+
+class TestSocketDerivation:
+    def test_paper_scheme_address_high_port_low(self):
+        sid = service_id_from_socket("10.0.0.1", 8080)
+        assert int(sid) == (int.from_bytes(bytes([10, 0, 0, 1]), "big") << 16
+                            | 8080)
+
+    def test_inverts_back_to_address(self):
+        sid = service_id_from_socket("192.168.7.9", 41200)
+        assert service_id_address(sid) == ("192.168.7.9", 41200)
+
+    def test_distinct_ports_distinct_ids(self):
+        a = service_id_from_socket("127.0.0.1", 1000)
+        b = service_id_from_socket("127.0.0.1", 1001)
+        assert a != b
+
+    def test_rejects_bad_port(self):
+        with pytest.raises(AddressError):
+            service_id_from_socket("127.0.0.1", 70000)
+
+    def test_rejects_non_ipv4(self):
+        with pytest.raises(AddressError):
+            service_id_from_socket("not-an-ip", 80)
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 0xFFFF))
+    def test_roundtrip_property(self, a, b, port):
+        host = f"{a}.{b}.1.2"
+        assert service_id_address(service_id_from_socket(host, port)) == (
+            host, port)
+
+
+class TestNameDerivation:
+    def test_deterministic(self):
+        assert service_id_from_name("hr-1") == service_id_from_name("hr-1")
+
+    def test_distinct_names_distinct_ids(self):
+        names = [f"sensor-{i}" for i in range(200)]
+        ids = {service_id_from_name(n) for n in names}
+        assert len(ids) == len(names)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(AddressError):
+            service_id_from_name("")
+
+    def test_fits_48_bits(self):
+        for name in ("a", "node", "x" * 100):
+            assert 0 <= int(service_id_from_name(name)) < (1 << 48)

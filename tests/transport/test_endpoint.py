@@ -1,0 +1,174 @@
+"""PacketEndpoint: control/data demultiplexing, peer learning, channels."""
+
+import pytest
+
+from repro.errors import AddressError, PacketError
+from repro.ids import service_id_from_name
+from repro.transport.packets import Packet, PacketType
+
+
+class TestPlanes:
+    def test_control_packets_reach_control_handler(self, sim, endpoints):
+        a, b = endpoints("a"), endpoints("b")
+        seen = []
+        b.set_control_handler(lambda pkt, src: seen.append((pkt.type, src)))
+        a.send_control("b", PacketType.BEACON, b"cell-info")
+        sim.run_until_idle()
+        assert seen == [(PacketType.BEACON, "a")]
+
+    def test_reliable_payloads_reach_payload_handler(self, sim, endpoints):
+        a, b = endpoints("a"), endpoints("b")
+        seen = []
+        b.set_payload_handler(lambda peer, data: seen.append((peer, data)))
+        a.send_reliable("b", b"payload")
+        sim.run_until_idle()
+        assert seen == [(service_id_from_name("a"), b"payload")]
+
+    def test_raw_payloads_also_reach_payload_handler(self, sim, endpoints):
+        a, b = endpoints("a"), endpoints("b")
+        seen = []
+        b.set_payload_handler(lambda peer, data: seen.append(data))
+        a.send_raw("b", b"unack")
+        sim.run_until_idle()
+        assert seen == [b"unack"]
+
+    def test_data_types_cannot_be_sent_as_control(self, sim, endpoints):
+        a = endpoints("a")
+        with pytest.raises(PacketError):
+            a.send_control("b", PacketType.DATA, b"x")
+
+    def test_broadcast_control(self, sim, endpoints):
+        a = endpoints("a")
+        seen = {}
+        for name in ("b", "c"):
+            endpoint = endpoints(name)
+            seen[name] = []
+            endpoint.set_control_handler(
+                lambda pkt, src, n=name: seen[n].append(pkt.type))
+        a.broadcast_control(PacketType.BEACON)
+        sim.run_until_idle()
+        assert seen == {"b": [PacketType.BEACON], "c": [PacketType.BEACON]}
+
+    def test_own_broadcast_echo_ignored(self, sim, endpoints):
+        a = endpoints("a")
+        endpoints("b")
+        seen = []
+        a.set_control_handler(lambda pkt, src: seen.append(pkt))
+        a.broadcast_control(PacketType.BEACON)
+        sim.run_until_idle()
+        assert seen == []
+
+    def test_garbage_datagrams_counted_not_raised(self, sim, hub, endpoints):
+        b = endpoints("b")
+        raw = hub.create("raw-sender")
+        raw.send("b", b"not a packet at all")
+        sim.run_until_idle()
+        assert b.decode_errors == 1
+
+
+class TestPeerBookkeeping:
+    def test_addresses_learned_from_any_packet(self, sim, endpoints):
+        a, b = endpoints("a"), endpoints("b")
+        b.set_control_handler(lambda pkt, src: None)
+        a.send_control("b", PacketType.HEARTBEAT)
+        sim.run_until_idle()
+        assert b.address_of(service_id_from_name("a")) == "a"
+        assert b.knows_peer(service_id_from_name("a"))
+
+    def test_unknown_peer_raises(self, endpoints):
+        a = endpoints("a")
+        with pytest.raises(AddressError):
+            a.address_of(service_id_from_name("stranger"))
+
+    def test_learn_peer_manually(self, endpoints):
+        a = endpoints("a")
+        peer = service_id_from_name("remote")
+        a.learn_peer(peer, "remote")
+        assert a.address_of(peer) == "remote"
+
+    def test_forget_peer(self, sim, endpoints):
+        a, b = endpoints("a"), endpoints("b")
+        a.send_reliable("b", b"x")
+        sim.run_until_idle()
+        peer = service_id_from_name("a")
+        b.forget_peer(peer)
+        assert not b.knows_peer(peer)
+
+
+class TestChannels:
+    def test_close_channel_reports_dropped_payloads(self, sim, hub,
+                                                    endpoints):
+        a, b = endpoints("a"), endpoints("b")
+        b.set_payload_handler(lambda peer, data: None)
+        hub.drop_filter = lambda src, dest, data: False
+        a.learn_peer(service_id_from_name("b"), "b")
+        for i in range(4):
+            a.send_reliable("b", bytes([i]))
+        dropped = a.close_channel(service_id_from_name("b"))
+        assert dropped == 4
+
+    def test_close_channel_without_channel_is_zero(self, endpoints):
+        a = endpoints("a")
+        a.learn_peer(service_id_from_name("b"), "b")
+        assert a.close_channel(service_id_from_name("b")) == 0
+
+    def test_one_sided_reset_desyncs_by_design(self, sim, hub, endpoints):
+        # Channel state is scoped to a membership session: if only one side
+        # resets, the survivor treats the fresh sequence numbers as
+        # duplicates.  This is why JOIN_ACK carries new_session and both
+        # sides reset together.
+        a, b = endpoints("a"), endpoints("b")
+        got = []
+        b.set_payload_handler(lambda peer, data: got.append(data))
+        a.send_reliable("b", b"first")
+        sim.run_until_idle()
+        a.reset_channel_to("b")
+        a.send_reliable("b", b"second")        # seq restarts at 1
+        sim.run(5.0)
+        assert got == [b"first"]               # suppressed as a duplicate
+
+    def test_both_sides_reset_resyncs(self, sim, hub, endpoints):
+        a, b = endpoints("a"), endpoints("b")
+        got = []
+        b.set_payload_handler(lambda peer, data: got.append(data))
+        a.send_reliable("b", b"first")
+        sim.run_until_idle()
+        a.reset_channel_to("b")
+        b.reset_channel_to("a")
+        a.send_reliable("b", b"second")
+        sim.run_until_idle()
+        assert got == [b"first", b"second"]
+
+    def test_reset_unknown_address_is_noop(self, endpoints):
+        a = endpoints("a")
+        assert a.reset_channel_to("nowhere") == 0
+
+    def test_give_up_handler(self, sim, hub, endpoints):
+        endpoints("b")
+        abandoned = []
+        a_give = endpoints("a2", max_retries=2)
+        a_give.set_give_up_handler(lambda peer, data: abandoned.append(data))
+        hub.drop_filter = lambda src, dest, data: False
+        a_give.send_reliable("b", b"lost")
+        sim.run(30.0)
+        assert abandoned == [b"lost"]
+
+    def test_sequential_payloads_in_order(self, sim, endpoints):
+        a, b = endpoints("a"), endpoints("b")
+        got = []
+        b.set_payload_handler(lambda peer, data: got.append(data))
+        for i in range(20):
+            a.send_reliable("b", f"p{i}".encode())
+        sim.run_until_idle()
+        assert got == [f"p{i}".encode() for i in range(20)]
+
+    def test_two_peers_independent_channels(self, sim, endpoints):
+        a, b, c = endpoints("a"), endpoints("b"), endpoints("c")
+        got_b, got_c = [], []
+        b.set_payload_handler(lambda peer, data: got_b.append(data))
+        c.set_payload_handler(lambda peer, data: got_c.append(data))
+        a.send_reliable("b", b"to-b")
+        a.send_reliable("c", b"to-c")
+        sim.run_until_idle()
+        assert got_b == [b"to-b"]
+        assert got_c == [b"to-c"]

@@ -1,0 +1,114 @@
+"""Packet framing: header layout, checksum, malformed datagrams."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PacketError
+from repro.ids import ServiceId
+from repro.transport.packets import (
+    HEADER_SIZE,
+    Packet,
+    PacketFlags,
+    PacketType,
+)
+
+SENDER = ServiceId(0xAABBCCDDEEFF)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_minimal(self):
+        packet = Packet(type=PacketType.ACK, sender=SENDER)
+        decoded = Packet.decode(packet.encode())
+        assert decoded == packet
+
+    def test_roundtrip_full(self):
+        packet = Packet(type=PacketType.DATA, sender=SENDER, seq=123,
+                        ack=99, payload=b"payload bytes",
+                        flags=PacketFlags.NO_ACK)
+        decoded = Packet.decode(packet.encode())
+        assert decoded.type == PacketType.DATA
+        assert decoded.sender == SENDER
+        assert decoded.seq == 123
+        assert decoded.ack == 99
+        assert decoded.payload == b"payload bytes"
+        assert decoded.flags == PacketFlags.NO_ACK
+
+    def test_header_size(self):
+        packet = Packet(type=PacketType.ACK, sender=SENDER)
+        assert len(packet.encode()) == HEADER_SIZE
+        assert packet.wire_size == HEADER_SIZE
+
+    def test_all_packet_types_roundtrip(self):
+        for ptype in PacketType:
+            decoded = Packet.decode(
+                Packet(type=ptype, sender=SENDER, payload=b"x").encode())
+            assert decoded.type == ptype
+
+    @given(st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF),
+           st.binary(max_size=1000))
+    def test_roundtrip_property(self, seq, ack, payload):
+        packet = Packet(type=PacketType.DATA, sender=SENDER, seq=seq,
+                        ack=ack, payload=payload)
+        assert Packet.decode(packet.encode()) == packet
+
+
+class TestValidation:
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(PacketError):
+            Packet(type=PacketType.DATA, sender=SENDER, payload=b"x" * 70000)
+
+    def test_seq_out_of_range_rejected(self):
+        with pytest.raises(PacketError):
+            Packet(type=PacketType.DATA, sender=SENDER, seq=2 ** 32)
+
+    def test_short_datagram_rejected(self):
+        with pytest.raises(PacketError):
+            Packet.decode(b"\xa5\x5e\x01")
+
+    def test_bad_magic_rejected(self):
+        raw = bytearray(Packet(type=PacketType.ACK, sender=SENDER).encode())
+        raw[0] = 0x00
+        with pytest.raises(PacketError):
+            Packet.decode(bytes(raw))
+
+    def test_bad_version_rejected(self):
+        raw = bytearray(Packet(type=PacketType.ACK, sender=SENDER).encode())
+        raw[2] = 99
+        with pytest.raises(PacketError):
+            Packet.decode(bytes(raw))
+
+    def test_unknown_type_rejected(self):
+        raw = bytearray(Packet(type=PacketType.ACK, sender=SENDER).encode())
+        raw[3] = 200
+        with pytest.raises(PacketError):
+            Packet.decode(bytes(raw))
+
+    def test_length_mismatch_rejected(self):
+        raw = Packet(type=PacketType.DATA, sender=SENDER,
+                     payload=b"abc").encode()
+        with pytest.raises(PacketError):
+            Packet.decode(raw + b"extra")
+
+    def test_corrupted_payload_fails_checksum(self):
+        raw = bytearray(Packet(type=PacketType.DATA, sender=SENDER,
+                               payload=b"sensitive medical data").encode())
+        raw[-3] ^= 0xFF
+        with pytest.raises(PacketError):
+            Packet.decode(bytes(raw))
+
+    def test_corrupted_header_fails_checksum(self):
+        raw = bytearray(Packet(type=PacketType.DATA, sender=SENDER, seq=5,
+                               payload=b"x").encode())
+        raw[10] ^= 0x01          # flip a bit inside the sender id
+        with pytest.raises(PacketError):
+            Packet.decode(bytes(raw))
+
+    @given(st.binary(min_size=0, max_size=200))
+    def test_random_garbage_never_parses_silently(self, garbage):
+        # Either it raises PacketError, or (astronomically unlikely) it is
+        # a valid packet; it must never raise anything else.
+        try:
+            Packet.decode(garbage)
+        except PacketError:
+            pass

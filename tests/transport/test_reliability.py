@@ -1,0 +1,211 @@
+"""The reliable channel: ordering, dedup, retransmission, give-up.
+
+These are the paper's Section II-C guarantees at the hop level, tested
+against a hub that can drop and reorder traffic on demand.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ids import service_id_from_name
+from repro.transport.packets import Packet, PacketType
+from repro.transport.reliability import ReliableChannel
+
+
+def make_pair(sim, hub, *, window=1, max_retries=None, on_give_up=None,
+              rto_initial=0.05):
+    """Two endpoints with channels wired to each other through raw packets."""
+    ta, tb = hub.create("a"), hub.create("b")
+    delivered_a, delivered_b = [], []
+    chan_a = ReliableChannel(ta, sim, "b", lambda s, p: delivered_a.append(p),
+                             window=window, max_retries=max_retries,
+                             on_give_up=on_give_up, rto_initial=rto_initial)
+    chan_b = ReliableChannel(tb, sim, "a", lambda s, p: delivered_b.append(p),
+                             window=window, rto_initial=rto_initial)
+    ta.set_receiver(lambda src, data: chan_a.handle_packet(Packet.decode(data)))
+    tb.set_receiver(lambda src, data: chan_b.handle_packet(Packet.decode(data)))
+    return chan_a, chan_b, delivered_a, delivered_b
+
+
+class TestBasics:
+    def test_send_delivers(self, sim, hub):
+        chan_a, chan_b, _, delivered_b = make_pair(sim, hub)
+        chan_a.send(b"hello")
+        sim.run_until_idle()
+        assert delivered_b == [b"hello"]
+
+    def test_many_messages_in_order(self, sim, hub):
+        chan_a, _, _, delivered_b = make_pair(sim, hub)
+        for i in range(50):
+            chan_a.send(f"msg-{i}".encode())
+        sim.run_until_idle()
+        assert delivered_b == [f"msg-{i}".encode() for i in range(50)]
+
+    def test_bidirectional(self, sim, hub):
+        chan_a, chan_b, delivered_a, delivered_b = make_pair(sim, hub)
+        chan_a.send(b"ping")
+        chan_b.send(b"pong")
+        sim.run_until_idle()
+        assert delivered_b == [b"ping"]
+        assert delivered_a == [b"pong"]
+
+    def test_peer_id_learned(self, sim, hub):
+        chan_a, chan_b, _, _ = make_pair(sim, hub)
+        chan_a.send(b"x")
+        sim.run_until_idle()
+        assert chan_b.peer_id == service_id_from_name("a")
+
+    def test_unreliable_send_has_no_seq_state(self, sim, hub):
+        chan_a, _, _, delivered_b = make_pair(sim, hub)
+        chan_a.send(b"raw", unreliable=True)
+        sim.run_until_idle()
+        assert delivered_b == [b"raw"]
+        assert chan_a.unacked_count() == 0
+
+    def test_window_must_be_positive(self, sim, hub):
+        ta = hub.create("a")
+        with pytest.raises(ConfigurationError):
+            ReliableChannel(ta, sim, "b", lambda s, p: None, window=0)
+
+    def test_bad_rto_bounds_rejected(self, sim, hub):
+        ta = hub.create("a")
+        with pytest.raises(ConfigurationError):
+            ReliableChannel(ta, sim, "b", lambda s, p: None,
+                            rto_initial=1.0, rto_max=0.5)
+
+
+class TestLossRecovery:
+    def test_retransmits_until_delivered(self, sim, hub):
+        chan_a, _, _, delivered_b = make_pair(sim, hub)
+        drops = [0]
+
+        def drop_first_three(src, dest, data):
+            packet = Packet.decode(data)
+            if packet.type == PacketType.DATA and drops[0] < 3:
+                drops[0] += 1
+                return False
+            return True
+
+        hub.drop_filter = drop_first_three
+        chan_a.send(b"persistent")
+        sim.run(10.0)
+        assert delivered_b == [b"persistent"]
+        assert chan_a.stats.retransmissions >= 3
+
+    def test_lost_ack_causes_duplicate_which_is_suppressed(self, sim, hub):
+        chan_a, chan_b, _, delivered_b = make_pair(sim, hub)
+        dropped = [0]
+
+        def drop_first_ack(src, dest, data):
+            packet = Packet.decode(data)
+            if packet.type == PacketType.ACK and dropped[0] == 0:
+                dropped[0] += 1
+                return False
+            return True
+
+        hub.drop_filter = drop_first_ack
+        chan_a.send(b"once")
+        sim.run(10.0)
+        assert delivered_b == [b"once"]              # exactly once
+        assert chan_b.stats.duplicates >= 1
+
+    def test_order_preserved_under_heavy_loss(self, sim, hub):
+        import random
+        rng = random.Random(7)
+        hub.drop_filter = lambda src, dest, data: rng.random() > 0.3
+        chan_a, _, _, delivered_b = make_pair(sim, hub)
+        messages = [f"m{i}".encode() for i in range(40)]
+        for message in messages:
+            chan_a.send(message)
+        sim.run(120.0)
+        assert delivered_b == messages
+
+    def test_rto_backs_off_and_resets(self, sim, hub):
+        chan_a, _, _, delivered_b = make_pair(sim, hub, rto_initial=0.05)
+        hub.drop_filter = lambda src, dest, data: False   # black hole
+        chan_a.send(b"x")
+        sim.run(2.0)
+        retries_in_two_seconds = chan_a.stats.retransmissions
+        # Exponential backoff: far fewer than 2.0/0.05 = 40 attempts.
+        assert 3 <= retries_in_two_seconds < 12
+        hub.drop_filter = None
+        sim.run(6.0)
+        assert delivered_b == [b"x"]
+
+
+class TestWindowing:
+    def test_stop_and_wait_has_one_in_flight(self, sim, hub):
+        chan_a, _, _, _ = make_pair(sim, hub)
+        hub.drop_filter = lambda src, dest, data: False
+        for i in range(5):
+            chan_a.send(bytes([i]))
+        assert chan_a.unacked_count() == 5
+        # Only one DATA packet actually left (window=1).
+        assert chan_a.stats.sent == 1
+
+    def test_larger_window_pipelines(self, sim, hub):
+        chan_a, _, _, delivered_b = make_pair(sim, hub, window=4)
+        hub.drop_filter = lambda src, dest, data: False
+        for i in range(10):
+            chan_a.send(bytes([i]))
+        assert chan_a.stats.sent == 4
+        hub.drop_filter = None
+        sim.run(30.0)
+        assert delivered_b == [bytes([i]) for i in range(10)]
+
+    def test_out_of_order_arrival_reordered(self, sim, hub):
+        # Window 4 with selective drops forces out-of-order arrivals.
+        import random
+        rng = random.Random(3)
+        chan_a, chan_b, _, delivered_b = make_pair(sim, hub, window=4)
+        hub.drop_filter = lambda src, dest, data: rng.random() > 0.25
+        messages = [f"seq-{i}".encode() for i in range(30)]
+        for message in messages:
+            chan_a.send(message)
+        sim.run(120.0)
+        assert delivered_b == messages
+        assert chan_b.stats.out_of_order > 0
+
+
+class TestGiveUp:
+    def test_gives_up_after_max_retries_and_closes(self, sim, hub):
+        abandoned = []
+        chan_a, _, _, _ = make_pair(sim, hub, max_retries=3,
+                                    on_give_up=abandoned.append)
+        hub.drop_filter = lambda src, dest, data: False
+        chan_a.send(b"doomed-1")
+        chan_a.send(b"doomed-2")
+        sim.run(30.0)
+        assert abandoned == [b"doomed-1", b"doomed-2"]
+        assert chan_a.closed
+        assert chan_a.stats.give_ups == 2
+
+    def test_no_give_up_by_default(self, sim, hub):
+        chan_a, _, _, delivered_b = make_pair(sim, hub)
+        hub.drop_filter = lambda src, dest, data: False
+        chan_a.send(b"eternal")
+        sim.run(30.0)
+        assert not chan_a.closed
+        assert chan_a.unacked_count() == 1
+        hub.drop_filter = None
+        sim.run(40.0)
+        assert delivered_b == [b"eternal"]
+
+
+class TestClose:
+    def test_close_drops_queue(self, sim, hub):
+        chan_a, _, _, delivered_b = make_pair(sim, hub)
+        hub.drop_filter = lambda src, dest, data: False
+        chan_a.send(b"queued")
+        chan_a.close()
+        hub.drop_filter = None
+        sim.run(10.0)
+        assert delivered_b == []
+        assert chan_a.unacked_count() == 0
+
+    def test_send_after_close_is_dropped(self, sim, hub):
+        chan_a, _, _, delivered_b = make_pair(sim, hub)
+        chan_a.close()
+        chan_a.send(b"late")
+        sim.run_until_idle()
+        assert delivered_b == []

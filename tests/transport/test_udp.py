@@ -1,0 +1,153 @@
+"""Real UDP transport on loopback — the paper's actual prototype transport.
+
+These tests use real sockets bound to 127.0.0.1 with OS-chosen ports (as
+the prototype did) and drive them by polling, so they stay single-threaded
+and fast.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import AddressError
+from repro.ids import service_id_from_socket
+from repro.sim.kernel import RealtimeScheduler
+from repro.transport.endpoint import PacketEndpoint
+from repro.transport.packets import PacketType
+from repro.transport.udp import UdpTransport
+
+
+@pytest.fixture
+def udp_pair():
+    a = UdpTransport()
+    b = UdpTransport()
+    yield a, b
+    a.close()
+    b.close()
+
+
+def poll_until(transports, condition, timeout=2.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        for transport in transports:
+            transport.poll()
+        if condition():
+            return True
+        time.sleep(0.002)
+    return False
+
+
+class TestUdpTransport:
+    def test_os_chooses_port(self, udp_pair):
+        a, b = udp_pair
+        assert a.local_address[1] != 0
+        assert a.local_address != b.local_address
+
+    def test_service_id_from_socket_address(self, udp_pair):
+        a, _ = udp_pair
+        host, port = a.local_address
+        assert a.service_id == service_id_from_socket(host, port)
+
+    def test_send_and_receive(self, udp_pair):
+        a, b = udp_pair
+        got = []
+        b.set_receiver(lambda src, data: got.append((src, data)))
+        a.send(b.local_address, b"over real sockets")
+        assert poll_until([a, b], lambda: got)
+        assert got[0][1] == b"over real sockets"
+        assert got[0][0] == a.local_address
+
+    def test_bidirectional(self, udp_pair):
+        a, b = udp_pair
+        got_a, got_b = [], []
+        a.set_receiver(lambda src, data: got_a.append(data))
+        b.set_receiver(lambda src, data: got_b.append(data))
+        a.send(b.local_address, b"ping")
+        assert poll_until([a, b], lambda: got_b)
+        b.send(a.local_address, b"pong")
+        assert poll_until([a, b], lambda: got_a)
+        assert got_a == [b"pong"] and got_b == [b"ping"]
+
+    def test_bad_address_rejected(self, udp_pair):
+        a, _ = udp_pair
+        with pytest.raises(AddressError):
+            a.send("not-a-tuple", b"x")
+
+    def test_peer_list_broadcast(self, udp_pair):
+        a, b = udp_pair
+        c = UdpTransport()
+        try:
+            got_b, got_c = [], []
+            b.set_receiver(lambda src, data: got_b.append(data))
+            c.set_receiver(lambda src, data: got_c.append(data))
+            a.set_broadcast_peers([b.local_address, c.local_address])
+            a.broadcast(b"hello all")
+            assert poll_until([a, b, c], lambda: got_b and got_c)
+            assert got_b == [b"hello all"]
+            assert got_c == [b"hello all"]
+        finally:
+            c.close()
+
+
+class TestUdpWithEndpoint:
+    def test_reliable_payload_over_real_udp(self, udp_pair):
+        a, b = udp_pair
+        scheduler = RealtimeScheduler()
+        ep_a = PacketEndpoint(a, scheduler)
+        ep_b = PacketEndpoint(b, scheduler)
+        got = []
+        ep_b.set_payload_handler(lambda peer, data: got.append(data))
+        ep_a.send_reliable(b.local_address, b"exactly once")
+        assert poll_until([a, b], lambda: got)
+        assert got == [b"exactly once"]
+
+    def test_control_over_real_udp(self, udp_pair):
+        a, b = udp_pair
+        scheduler = RealtimeScheduler()
+        ep_a = PacketEndpoint(a, scheduler)
+        ep_b = PacketEndpoint(b, scheduler)
+        seen = []
+        ep_b.set_control_handler(lambda pkt, src: seen.append(pkt.type))
+        ep_a.send_control(b.local_address, PacketType.ANNOUNCE, b"dev-info")
+        assert poll_until([a, b], lambda: seen)
+        assert seen == [PacketType.ANNOUNCE]
+
+    def test_many_ordered_payloads(self, udp_pair):
+        a, b = udp_pair
+        scheduler = RealtimeScheduler()
+        ep_a = PacketEndpoint(a, scheduler, window=4)
+        ep_b = PacketEndpoint(b, scheduler)
+        got = []
+        ep_b.set_payload_handler(lambda peer, data: got.append(data))
+        expected = [f"m{i}".encode() for i in range(30)]
+        for message in expected:
+            ep_a.send_reliable(b.local_address, message)
+        assert poll_until([a, b], lambda: len(got) == 30, timeout=5.0)
+        assert got == expected
+
+
+class TestRealtimeScheduler:
+    def test_timers_fire(self):
+        scheduler = RealtimeScheduler()
+        fired = []
+        scheduler.call_later(0.01, lambda: fired.append(scheduler.now()))
+        scheduler.run_for(0.1)
+        assert len(fired) == 1
+
+    def test_pollable_integration(self, udp_pair):
+        a, b = udp_pair
+        scheduler = RealtimeScheduler()
+        got = []
+        b.set_receiver(lambda src, data: got.append(data))
+        scheduler.register_pollable(b)
+        scheduler.call_later(0.01, a.send, b.local_address, b"via loop")
+        scheduler.run_for(0.3)
+        scheduler.unregister_pollable(b)
+        assert got == [b"via loop"]
+
+    def test_stop(self):
+        scheduler = RealtimeScheduler()
+        scheduler.call_later(0.005, scheduler.stop)
+        start = time.monotonic()
+        scheduler.run_for(5.0)
+        assert time.monotonic() - start < 2.0

@@ -1,0 +1,165 @@
+"""TLV value codec: roundtrips, bounds, malformed input."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.transport import wire
+
+
+values = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(2 ** 63), max_value=2 ** 63),
+    st.floats(allow_nan=False),
+    st.text(max_size=200),
+    st.binary(max_size=200),
+)
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2 ** 32, 2 ** 60])
+    def test_roundtrip(self, value):
+        encoded = wire.encode_varint(value)
+        decoded, offset = wire.decode_varint(encoded)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    def test_small_values_one_byte(self):
+        assert len(wire.encode_varint(127)) == 1
+        assert len(wire.encode_varint(128)) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodecError):
+            wire.encode_varint(-1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(CodecError):
+            wire.decode_varint(b"\x80")       # continuation with no next byte
+
+    def test_overlong_rejected(self):
+        with pytest.raises(CodecError):
+            wire.decode_varint(b"\xff" * 12)
+
+    @given(st.integers(min_value=0, max_value=2 ** 64))
+    def test_roundtrip_property(self, value):
+        assert wire.decode_varint(wire.encode_varint(value))[0] == value
+
+
+class TestZigzag:
+    @pytest.mark.parametrize("value", [0, 1, -1, 2, -2, 100, -100, 2 ** 40,
+                                       -(2 ** 40)])
+    def test_roundtrip(self, value):
+        assert wire.zigzag_decode(wire.zigzag_encode(value)) == value
+
+    def test_small_magnitudes_stay_small(self):
+        assert wire.zigzag_encode(-1) == 1
+        assert wire.zigzag_encode(1) == 2
+
+    @given(st.integers())
+    def test_roundtrip_property(self, value):
+        assert wire.zigzag_decode(wire.zigzag_encode(value)) == value
+
+
+class TestValues:
+    @pytest.mark.parametrize("value", [
+        True, False, 0, -1, 12345, -(2 ** 40), 0.0, -2.5, math.inf,
+        "", "hello", "unicode: héllo ☃", b"", b"\x00\xff", b"raw" * 50,
+    ])
+    def test_roundtrip(self, value):
+        encoded = wire.encode_value(value)
+        decoded, offset = wire.decode_value(encoded)
+        assert decoded == value
+        assert type(decoded) is type(value)
+        assert offset == len(encoded)
+
+    def test_bool_is_not_confused_with_int(self):
+        decoded, _ = wire.decode_value(wire.encode_value(True))
+        assert decoded is True
+        decoded, _ = wire.decode_value(wire.encode_value(1))
+        assert decoded == 1 and not isinstance(decoded, bool)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(CodecError):
+            wire.encode_value([1, 2, 3])
+
+    def test_none_rejected(self):
+        with pytest.raises(CodecError):
+            wire.encode_value(None)
+
+    def test_oversized_string_rejected(self):
+        with pytest.raises(CodecError):
+            wire.encode_value("x" * 70000)
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(CodecError):
+            wire.decode_value(b"\x63\x00")
+
+    def test_truncated_float_rejected(self):
+        encoded = wire.encode_value(1.5)
+        with pytest.raises(CodecError):
+            wire.decode_value(encoded[:5])
+
+    def test_invalid_bool_byte_rejected(self):
+        with pytest.raises(CodecError):
+            wire.decode_value(b"\x01\x07")
+
+    def test_invalid_utf8_rejected(self):
+        bad = bytes((4,)) + wire.encode_varint(2) + b"\xff\xfe"
+        with pytest.raises(CodecError):
+            wire.decode_value(bad)
+
+    @given(values)
+    def test_roundtrip_property(self, value):
+        decoded, _ = wire.decode_value(wire.encode_value(value))
+        if isinstance(value, float):
+            assert decoded == pytest.approx(value, nan_ok=True)
+        else:
+            assert decoded == value
+        assert type(decoded) is type(value)
+
+
+class TestAttrMap:
+    def test_roundtrip(self):
+        attrs = {"hr": 72.5, "patient": "p-1", "alarm": False, "raw": b"\x01",
+                 "count": 9}
+        decoded, offset = wire.decode_attr_map(wire.encode_attr_map(attrs))
+        assert decoded == attrs
+
+    def test_empty_map(self):
+        decoded, _ = wire.decode_attr_map(wire.encode_attr_map({}))
+        assert decoded == {}
+
+    def test_encoding_is_key_order_independent(self):
+        a = wire.encode_attr_map({"x": 1, "y": 2})
+        b = wire.encode_attr_map({"y": 2, "x": 1})
+        assert a == b
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CodecError):
+            wire.encode_attr_map({"": 1})
+
+    def test_duplicate_on_wire_rejected(self):
+        # Hand-craft a map body with the same key twice.
+        body = (wire.encode_varint(2)
+                + wire.encode_str("k") + wire.encode_value(1)
+                + wire.encode_str("k") + wire.encode_value(2))
+        with pytest.raises(CodecError):
+            wire.decode_attr_map(body)
+
+    def test_huge_count_rejected(self):
+        with pytest.raises(CodecError):
+            wire.decode_attr_map(wire.encode_varint(10 ** 9))
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=20), values,
+                           max_size=12))
+    def test_roundtrip_property(self, attrs):
+        decoded, _ = wire.decode_attr_map(wire.encode_attr_map(attrs))
+        assert set(decoded) == set(attrs)
+        for key, value in attrs.items():
+            if isinstance(value, float):
+                assert decoded[key] == pytest.approx(value, nan_ok=True)
+            else:
+                assert decoded[key] == value
