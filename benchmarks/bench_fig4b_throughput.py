@@ -42,3 +42,34 @@ def test_fig4b_throughput_curves(once, benchmark):
     # And within the magnitude band the paper plots (0-22 KB/s axis).
     assert 5.0 < cbus[3000] < 25.0
     assert 4.0 < siena[3000] < 20.0
+
+
+def test_fig4b_batch_pipeline_beats_per_event(once, benchmark):
+    """The batch publish pipeline against the per-event path (E2 follow-on).
+
+    Same testbed, same engine, same pipeline depth; the batched publisher
+    coalesces 8 PUBLISH frames per reliable payload and the bus flushes
+    one DELIVER batch per scheduling round.  Amortising the per-packet
+    and per-match-invocation overhead must show up as a clear events/sec
+    win at small payloads (where fixed costs dominate).
+    """
+    size = 500
+
+    def run():
+        per_event = run_fig4b(payload_sizes=(size,), duration_s=10.0,
+                              pipeline_depth=32, engines=("forwarding",),
+                              batch_size=1)
+        batched = run_fig4b(payload_sizes=(size,), duration_s=10.0,
+                            pipeline_depth=32, engines=("forwarding",),
+                            batch_size=8)
+        return (per_event.notes["forwarding.events_per_second"][size],
+                batched.notes["forwarding.events_per_second"][size])
+
+    per_eps, batch_eps = once(run)
+    benchmark.extra_info["per_event_eps"] = round(per_eps, 1)
+    benchmark.extra_info["batch_eps"] = round(batch_eps, 1)
+    print(f"\nfig4b batch pipeline: per-event {per_eps:.1f} ev/s, "
+          f"batch(8) {batch_eps:.1f} ev/s "
+          f"({batch_eps / per_eps:.2f}x)")
+    # The virtual-time testbed is deterministic, so this gate is stable.
+    assert batch_eps >= 1.5 * per_eps

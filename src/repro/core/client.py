@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Sequence
 
 from repro.errors import CodecError, SubscriptionNotFoundError, TransportError
 from repro.ids import ServiceId
@@ -52,6 +52,8 @@ class ClientStats:
     duplicates_dropped: int = 0
     undispatched: int = 0
     malformed: int = 0
+    batches_sent: int = 0
+    batches_received: int = 0
 
 
 class BusClient:
@@ -104,6 +106,37 @@ class BusClient:
         self.endpoint.send_reliable(self.bus_address, payload)
         self.stats.published += 1
         return event
+
+    def publish_batch(self, items: Sequence[tuple[str, dict[str, Value] | None]],
+                      *, ignore_quench: bool = False) -> list[Event]:
+        """Publish a batch of ``(event_type, attributes)`` pairs.
+
+        The whole batch is stamped with consecutive sequence numbers and
+        coalesced into as few reliable payloads as possible (one BATCH
+        frame per flush instead of one packet per event), which is the
+        publisher half of the bus's batch pipeline.  Returns the stamped
+        events; an empty list when quenched or disconnected.
+        """
+        if not items:
+            return []
+        if self.quenched and not ignore_quench:
+            self.stats.publishes_quenched += len(items)
+            return []
+        if self.bus_address is None:
+            self.stats.publishes_disconnected += len(items)
+            return []
+        now = self.scheduler.now()
+        events = [Event(event_type, attributes or {}, self.service_id,
+                        next(self._next_seqno), now)
+                  for event_type, attributes in items]
+        frames = [protocol.frame(BusOp.PUBLISH, encode_event(event))
+                  for event in events]
+        for payload in protocol.chunk_frames(frames):
+            self.meter.charge_copy(OUTBOUND_COPIES * len(payload))
+            self.endpoint.send_reliable(self.bus_address, payload)
+        self.stats.published += len(events)
+        self.stats.batches_sent += 1
+        return events
 
     def advertise(self, filt: Filter) -> None:
         """Declare what this service publishes (enables quenching)."""
@@ -164,6 +197,18 @@ class BusClient:
             return
         if op == BusOp.DELIVER:
             self._on_deliver(body)
+        elif op == BusOp.BATCH:
+            try:
+                frames = protocol.parse_batch(body)
+            except CodecError:
+                self.stats.malformed += 1
+                return
+            self.stats.batches_received += 1
+            for framed in frames:
+                if framed[:1] == bytes((BusOp.BATCH,)):
+                    self.stats.malformed += 1     # batches never nest
+                    continue
+                self._on_payload(peer, framed)
         elif op == BusOp.QUENCH:
             try:
                 state = protocol.parse_quench(body)

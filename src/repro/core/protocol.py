@@ -16,7 +16,13 @@ DEVICE_DATA      raw device protocol bytes (simple sensor → its proxy)
 DEVICE_CMD       raw device protocol bytes (proxy → simple device)
 ADVERTISE        encoded filter describing what a publisher emits
 QUENCH           1 byte: 1 = stop publishing (nobody subscribed), 0 = go
+BATCH            length-prefixed list of framed payloads (batch pipeline)
 ===============  =======================================================
+
+A BATCH payload amortises per-packet overhead: a publisher coalesces many
+PUBLISH frames into one reliable payload, and a proxy flushes one DELIVER
+batch per scheduling round instead of one packet per event.  Batches never
+nest — a BATCH frame inside a BATCH body is malformed.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ class BusOp(enum.IntEnum):
     DEVICE_CMD = 6
     ADVERTISE = 7
     QUENCH = 8
+    BATCH = 9
 
 
 def frame(op: BusOp, body: bytes = b"") -> bytes:
@@ -63,6 +70,80 @@ def parse_unsubscribe(body: bytes) -> int:
     if pos != len(body):
         raise CodecError("trailing bytes after unsubscribe id")
     return sub_id
+
+
+#: Soft cap on one batch payload.  Packets carry at most 64 KiB; the
+#: simulated media fragment anything over their MTU, so a batch flush stays
+#: comfortably under the hard packet limit while still amortising per-event
+#: overhead across dozens of typical events.
+BATCH_FLUSH_BYTES = 32 * 1024
+
+
+def frame_batch(frames: list[bytes]) -> bytes:
+    """Wrap framed payloads into one BATCH payload."""
+    return frame(BusOp.BATCH, wire.encode_frames(frames))
+
+
+def parse_batch(body: bytes) -> list[bytes]:
+    """Split a BATCH body back into its framed payloads."""
+    frames, pos = wire.decode_frames(body)
+    if pos != len(body):
+        raise CodecError("trailing bytes after batch frames")
+    return frames
+
+
+def chunk_frames(frames: list[bytes],
+                 max_bytes: int = BATCH_FLUSH_BYTES) -> list[bytes]:
+    """Coalesce framed payloads into as few reliable payloads as possible.
+
+    Returns a list of payloads ready for ``send_reliable``: runs of small
+    frames are wrapped into BATCH payloads of at most ``max_bytes``; a
+    single frame (or one larger than ``max_bytes`` by itself) is passed
+    through unwrapped, so a batch of one is byte-identical to the
+    per-event path.
+    """
+    payloads: list[bytes] = []
+    pending: list[bytes] = []
+    pending_size = 0
+
+    def flush() -> None:
+        nonlocal pending, pending_size
+        if not pending:
+            return
+        if len(pending) == 1:
+            payloads.append(pending[0])
+        else:
+            payloads.append(frame_batch(pending))
+        pending = []
+        pending_size = 0
+
+    for framed in frames:
+        if pending and pending_size + len(framed) > max_bytes:
+            flush()
+        pending.append(framed)
+        pending_size += len(framed)
+    flush()
+    return payloads
+
+
+def count_publications(payload: bytes) -> int:
+    """Number of PUBLISH frames ``payload`` carries (0 for non-publish ops).
+
+    Used for publication accounting on payloads that are dropped before
+    they reach the bus (e.g. traffic from non-members): the bus counts
+    every publication *attempt*, even rejected ones.
+    """
+    if not payload:
+        return 0
+    if payload[0] == BusOp.PUBLISH:
+        return 1
+    if payload[0] == BusOp.BATCH:
+        try:
+            frames = parse_batch(payload[1:])
+        except CodecError:
+            return 0
+        return sum(1 for f in frames if f[:1] == bytes((BusOp.PUBLISH,)))
+    return 0
 
 
 def frame_quench(quench_on: bool) -> bytes:

@@ -11,11 +11,61 @@ forwarding engine, type-based engine) plugs in behind it.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Mapping
+from typing import Iterable, Mapping, Sequence
 
 from repro.errors import ConfigurationError, MatchingError, SubscriptionNotFoundError
 from repro.matching.filters import Subscription
 from repro.transport.wire import Value
+
+
+class AttributeNameIndex:
+    """Counting pre-index over constraint *names*.
+
+    Register each candidate (a filter, a poset node, ...) under the set of
+    attribute names its constraints require.  At match time,
+    :meth:`candidates` counts, per candidate, how many of its required
+    names the event carries — exactly the fast-forwarding counting step,
+    applied to names instead of full constraints.  Only candidates whose
+    every required name is present can possibly match, so engines skip
+    evaluating everything else.
+    """
+
+    __slots__ = ("_by_name", "_names_of", "_unconstrained")
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, set[int]] = {}      # name -> candidate keys
+        self._names_of: dict[int, frozenset[str]] = {}
+        self._unconstrained: set[int] = set()        # keys needing no names
+
+    def add(self, key: int, names: Iterable[str]) -> None:
+        distinct = frozenset(names)
+        if not distinct:
+            self._unconstrained.add(key)
+            return
+        self._names_of[key] = distinct
+        for name in distinct:
+            self._by_name.setdefault(name, set()).add(key)
+
+    def remove(self, key: int) -> None:
+        self._unconstrained.discard(key)
+        for name in self._names_of.pop(key, ()):
+            keyed = self._by_name[name]
+            keyed.discard(key)
+            if not keyed:
+                del self._by_name[name]
+
+    def candidates(self, attr_names: Iterable[str]) -> set[int]:
+        """Keys whose every required name appears in ``attr_names``."""
+        counts: dict[int, int] = {}
+        names_of = self._names_of
+        out = set(self._unconstrained)
+        for name in attr_names:
+            for key in self._by_name.get(name, ()):
+                count = counts.get(key, 0) + 1
+                counts[key] = count
+                if count == len(names_of[key]):
+                    out.add(key)
+        return out
 
 
 class MatchingEngine(ABC):
@@ -70,6 +120,21 @@ class MatchingEngine(ABC):
         matched = self._match_ids(attributes)
         return [self._subscriptions[sub_id] for sub_id in sorted(matched)]
 
+    def match_batch(self, batch: Sequence[Mapping[str, Value]]
+                    ) -> list[list[Subscription]]:
+        """Match a batch of events in one call; one result list per event.
+
+        Semantically identical to calling :meth:`match` per event (the
+        differential suite enforces this), but engines may override
+        :meth:`_match_ids_batch` to amortise per-event work — repeated
+        attribute values, index lookups, interpreter overhead — across the
+        whole batch.
+        """
+        self.events_matched += len(batch)
+        subscriptions = self._subscriptions
+        return [[subscriptions[sub_id] for sub_id in sorted(matched)]
+                for matched in self._match_ids_batch(batch)]
+
     # -- engine hooks ---------------------------------------------------
 
     @abstractmethod
@@ -83,6 +148,11 @@ class MatchingEngine(ABC):
     @abstractmethod
     def _match_ids(self, attributes: Mapping[str, Value]) -> set[int]:
         """Ids of subscriptions matching ``attributes``."""
+
+    def _match_ids_batch(self, batch: Sequence[Mapping[str, Value]]
+                         ) -> list[set[int]]:
+        """Per-event match id sets; engines override to amortise work."""
+        return [self._match_ids(attributes) for attributes in batch]
 
 
 class BruteForceMatcher(MatchingEngine):

@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import Mapping
 
 from repro.matching.covering import filter_covers
-from repro.matching.engine import MatchingEngine
+from repro.matching.engine import AttributeNameIndex, MatchingEngine
 from repro.matching.filters import Constraint, Filter, Op, Subscription
 from repro.sim.hosts import CostMeter, NullCostMeter
 from repro.transport.wire import Value
@@ -58,9 +58,14 @@ class SienaMatcher(MatchingEngine):
         self._nodes: dict[int, _PosetNode] = {}
         self._node_by_filter: dict[Filter, int] = {}
         self._roots: set[int] = set()
+        # Counting pre-index: a filter naming an attribute the event does
+        # not carry cannot match, so its node (and, by covering, its whole
+        # subtree) is skipped without evaluating a single constraint.
+        self._name_index = AttributeNameIndex()
         self._next_node_id = 0
         self.nodes_visited = 0
         self.subtrees_skipped = 0
+        self.name_prefilter_skips = 0
 
     # -- poset maintenance ----------------------------------------------
 
@@ -87,6 +92,7 @@ class SienaMatcher(MatchingEngine):
         node = _PosetNode(filt)
         self._nodes[node_id] = node
         self._node_by_filter[filt] = node_id
+        self._name_index.add(node_id, filt.names())
 
         # Find direct parents (tightest coverers) and children (covered).
         for other_id, other in self._nodes.items():
@@ -137,6 +143,7 @@ class SienaMatcher(MatchingEngine):
         node = self._nodes.pop(node_id)
         del self._node_by_filter[node.filter]
         self._roots.discard(node_id)
+        self._name_index.remove(node_id)
         for parent_id in node.parents:
             self._nodes[parent_id].children.discard(node_id)
         for child_id in node.children:
@@ -156,6 +163,7 @@ class SienaMatcher(MatchingEngine):
     def _match_ids(self, attributes: Mapping[str, Value]) -> set[int]:
         matched: set[int] = set()
         visited: set[int] = set()
+        candidates = self._name_index.candidates(attributes.keys())
         stack = sorted(self._roots)
         while stack:
             node_id = stack.pop()
@@ -164,6 +172,12 @@ class SienaMatcher(MatchingEngine):
             visited.add(node_id)
             node = self._nodes[node_id]
             self.nodes_visited += 1
+            if node_id not in candidates:
+                # Pre-index: the filter names an attribute the event lacks,
+                # so it (and by covering, its subtree) cannot match.
+                self.name_prefilter_skips += 1
+                self.subtrees_skipped += 1
+                continue
             if node.filter.matches(attributes):
                 matched.update(node.sub_ids)
                 stack.extend(node.children)

@@ -148,6 +148,38 @@ def decode_str(buf: bytes, offset: int = 0) -> tuple[str, int]:
         raise CodecError(f"invalid UTF-8: {exc}") from exc
 
 
+def encode_frames(frames: list[bytes]) -> bytes:
+    """Encode a list of opaque byte frames (batch framing).
+
+    The batch publish pipeline coalesces many bus payloads into one
+    reliable payload: a varint frame count followed by varint-length-
+    prefixed frames.  The frames themselves are opaque here — the bus
+    protocol layer decides what they mean.
+    """
+    if len(frames) > _MAX_ATTRS:
+        raise CodecError(f"too many frames in batch: {len(frames)}")
+    parts = [encode_varint(len(frames))]
+    for frame in frames:
+        parts.append(encode_varint(len(frame)))
+        parts.append(frame)
+    return b"".join(parts)
+
+
+def decode_frames(buf: bytes, offset: int = 0) -> tuple[list[bytes], int]:
+    """Decode a batch of frames; returns (frames, new offset)."""
+    count, pos = decode_varint(buf, offset)
+    if count > _MAX_ATTRS:
+        raise CodecError(f"frame count too large: {count}")
+    frames: list[bytes] = []
+    for _ in range(count):
+        length, pos = decode_varint(buf, pos)
+        if pos + length > len(buf):
+            raise CodecError("truncated frame in batch")
+        frames.append(bytes(buf[pos:pos + length]))
+        pos += length
+    return frames, pos
+
+
 def encode_attr_map(attributes: dict[str, Value]) -> bytes:
     """Encode an attribute dictionary with a stable (sorted) key order."""
     if len(attributes) > _MAX_ATTRS:

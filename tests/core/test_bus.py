@@ -100,6 +100,136 @@ class TestLocalPubSub:
         assert bus.stats.subscriptions_active == 0
 
 
+class TestBatchPublish:
+    """publish_batch must be observably equivalent to per-event publish."""
+
+    def test_batch_delivery_and_order(self, sim, bus):
+        got = []
+        bus.subscribe_local(Filter.where("t"), got.append)
+        publisher = bus.local_publisher("svc")
+        publisher.publish_batch([("t", {"n": i}) for i in range(10)])
+        sim.run_until_idle()
+        assert [e.get("n") for e in got] == list(range(10))
+        assert [e.seqno for e in got] == list(range(1, 11))
+
+    def test_batch_callbacks_run_async_not_inline(self, sim, bus):
+        got = []
+        bus.subscribe_local(Filter.where("t"), got.append)
+        bus.local_publisher("svc").publish_batch([("t", {}), ("t", {})])
+        assert got == []                  # scheduled, not inline
+        sim.run_until_idle()
+        assert len(got) == 2
+
+    def test_batch_mixed_matches(self, sim, bus):
+        got = []
+        bus.subscribe_local(Filter.where("t"), got.append)
+        publisher = bus.local_publisher("svc")
+        publisher.publish_batch([("t", {"n": 0}), ("u", {"n": 1}),
+                                 ("t", {"n": 2})])
+        sim.run_until_idle()
+        assert [e.get("n") for e in got] == [0, 2]
+        assert bus.stats.matched == 2
+        assert bus.stats.unmatched == 1
+
+    def test_batch_duplicate_suppression(self, sim, bus):
+        got = []
+        bus.subscribe_local(Filter.where("t"), got.append)
+        events = [Event("t", {"n": i}, SENDER, i + 1, 0.0) for i in range(4)]
+        assert bus.publish_batch(events) == 4
+        assert bus.publish_batch(events) == 0        # all duplicates
+        sim.run_until_idle()
+        assert len(got) == 4
+        assert bus.stats.duplicates_dropped == 4
+
+    def test_batch_dedup_inside_one_batch(self, sim, bus):
+        event = Event("t", {}, SENDER, 3, 0.0)
+        assert bus.publish_batch([event, event]) == 1
+        assert bus.stats.duplicates_dropped == 1
+
+    def test_batch_overlapping_subs_deliver_once_per_component(self, sim, bus):
+        got = []
+        bus.subscribe_local(Filter.where("t"), got.append)
+        bus.subscribe_local(Filter.for_type_prefix("t"), got.append)
+        bus.local_publisher("svc").publish_batch([("t", {})])
+        sim.run_until_idle()
+        assert len(got) == 2          # once per subscription's callback
+        assert bus.stats.delivered_local == 2
+
+    def test_batch_stats_invariant(self, sim, bus):
+        bus.subscribe_local(Filter.where("t"), lambda e: None)
+        publisher = bus.local_publisher("svc")
+        publisher.publish_batch([("t", {}), ("u", {})])
+        bus.publish_batch([Event("t", {}, SENDER, 1, 0.0),
+                           Event("t", {}, SENDER, 1, 0.0)])
+        stats = bus.stats
+        assert stats.published == (stats.matched + stats.unmatched
+                                   + stats.duplicates_dropped
+                                   + stats.from_unknown_member)
+
+    def test_empty_batch_is_a_noop(self, sim, bus):
+        assert bus.publish_batch([]) == 0
+        assert bus.stats.published == 0
+
+    def test_unsubscribe_after_publish_delivers_like_per_event(self, sim, bus):
+        # The per-event path captures the callback at publish time, so an
+        # unsubscribe before the scheduler turn does not retract already-
+        # matched events; the batch path must behave identically.
+        got_batch, got_single = [], []
+        sub_id = bus.subscribe_local(Filter.where("t"), got_batch.append)
+        bus.local_publisher("svc").publish_batch([("t", {})])
+        bus.unsubscribe_local(sub_id)      # before the scheduler turn runs
+        sub_id = bus.subscribe_local(Filter.where("t"), got_single.append)
+        bus.local_publisher("svc").publish("t")
+        bus.unsubscribe_local(sub_id)
+        sim.run_until_idle()
+        assert len(got_batch) == len(got_single) == 1
+
+
+class TestWatermarkErasure:
+    """Purged-then-readmitted members start a fresh delivery session."""
+
+    def test_readmitted_sender_not_treated_as_duplicate(self, sim, bus):
+        got = []
+        bus.subscribe_local(Filter.where("t"), got.append)
+        bus.publish(Event("t", {"n": 0}, SENDER, 50, 0.0))
+        bus.unregister_member(SENDER)
+        # The readmitted device restarts its seqno space at 1; with the
+        # watermark erased these must be fresh, not duplicates.
+        assert bus.publish(Event("t", {"n": 1}, SENDER, 1, 0.0)) is True
+        assert bus.publish(Event("t", {"n": 2}, SENDER, 2, 0.0)) is True
+        sim.run_until_idle()
+        assert [e.get("n") for e in got] == [0, 1, 2]
+        assert bus.stats.duplicates_dropped == 0
+
+    def test_erasure_scoped_to_the_purged_member(self, sim, bus):
+        other = service_id_from_name("other")
+        bus.publish(Event("t", {}, SENDER, 10, 0.0))
+        bus.publish(Event("t", {}, other, 10, 0.0))
+        bus.unregister_member(SENDER)
+        assert bus.publish(Event("t", {}, SENDER, 1, 0.0)) is True
+        # The untouched member's watermark still suppresses stale seqnos.
+        assert bus.publish(Event("t", {}, other, 1, 0.0)) is False
+
+    def test_batch_path_accepts_fresh_session_after_purge(self, sim, bus):
+        bus.publish_batch([Event("t", {}, SENDER, i, 0.0)
+                           for i in range(1, 6)])
+        bus.unregister_member(SENDER)
+        fresh = bus.publish_batch([Event("t", {}, SENDER, i, 0.0)
+                                   for i in range(1, 4)])
+        assert fresh == 3
+        assert bus.stats.duplicates_dropped == 0
+
+    def test_purge_between_batches_not_counted_duplicate(self, sim, bus):
+        got = []
+        bus.subscribe_local(Filter.where("t"), got.append)
+        bus.publish_batch([Event("t", {"s": 1}, SENDER, 7, 0.0)])
+        bus.unregister_member(SENDER)
+        bus.publish_batch([Event("t", {"s": 2}, SENDER, 7, 0.0)])
+        sim.run_until_idle()
+        # Same seqno, two membership sessions: both delivered.
+        assert [e.get("s") for e in got] == [1, 2]
+
+
 class TestMembership:
     def test_proxy_required_for_member_subscription(self, bus):
         with pytest.raises(NotAMemberError):

@@ -304,3 +304,75 @@ class TestProtocolFrames:
         from repro.errors import CodecError
         with pytest.raises(CodecError):
             protocol.parse_unsubscribe(b"\x05extra")
+
+
+class TestBatchFrames:
+    def test_batch_roundtrip(self):
+        frames = [protocol.frame(BusOp.PUBLISH, b"a"),
+                  protocol.frame(BusOp.SUBSCRIBE, b"bb")]
+        payload = protocol.frame_batch(frames)
+        op, body = protocol.unframe(payload)
+        assert op == BusOp.BATCH
+        assert protocol.parse_batch(body) == frames
+
+    def test_chunk_single_frame_unwrapped(self):
+        frame = protocol.frame(BusOp.PUBLISH, b"solo")
+        assert protocol.chunk_frames([frame]) == [frame]
+
+    def test_chunk_many_small_frames_one_payload(self):
+        frames = [protocol.frame(BusOp.PUBLISH, bytes([i])) for i in range(20)]
+        payloads = protocol.chunk_frames(frames)
+        assert len(payloads) == 1
+        assert protocol.parse_batch(protocol.unframe(payloads[0])[1]) == frames
+
+    def test_chunk_respects_flush_cap(self):
+        frames = [protocol.frame(BusOp.PUBLISH, b"x" * 100) for _ in range(10)]
+        payloads = protocol.chunk_frames(frames, max_bytes=250)
+        assert len(payloads) > 1
+        reassembled = []
+        for payload in payloads:
+            op, body = protocol.unframe(payload)
+            if op == BusOp.BATCH:
+                reassembled.extend(protocol.parse_batch(body))
+            else:
+                reassembled.append(payload)
+        assert reassembled == frames
+
+    def test_oversized_frame_passes_alone(self):
+        big = protocol.frame(BusOp.PUBLISH, b"y" * 500)
+        small = protocol.frame(BusOp.PUBLISH, b"z")
+        payloads = protocol.chunk_frames([big, small], max_bytes=100)
+        assert payloads[0] == big          # unwrapped, by itself
+
+    def test_count_publications(self):
+        publish = protocol.frame(BusOp.PUBLISH, b"e")
+        other = protocol.frame(BusOp.SUBSCRIBE, b"s")
+        assert protocol.count_publications(publish) == 1
+        assert protocol.count_publications(other) == 0
+        assert protocol.count_publications(
+            protocol.frame_batch([publish, other, publish])) == 2
+        assert protocol.count_publications(b"") == 0
+
+    def test_member_batch_of_publishes_uses_bus_batch_path(self, kit, sim):
+        from repro.core.events import Event, encode_event
+        got = []
+        kit.bus.subscribe_local(Filter.where("t"), got.append)
+        endpoint = kit.device_endpoint("dev")
+        member = kit.admit(endpoint)
+        frames = [protocol.frame(BusOp.PUBLISH, encode_event(
+            Event("t", {"n": i}, endpoint.service_id, i + 1, 0.0)))
+            for i in range(5)]
+        endpoint.send_reliable("core", protocol.frame_batch(frames))
+        sim.run_until_idle()
+        assert [e.get("n") for e in got] == list(range(5))
+        proxy = kit.bus.proxy_of(member)
+        assert proxy.stats.batches_received == 1
+        assert proxy.stats.events_published == 5
+
+    def test_nested_batch_counted_malformed(self, kit, sim):
+        endpoint = kit.device_endpoint("dev")
+        member = kit.admit(endpoint)
+        inner = protocol.frame_batch([protocol.frame(BusOp.PUBLISH, b"")])
+        endpoint.send_reliable("core", protocol.frame_batch([inner]))
+        sim.run_until_idle()
+        assert kit.bus.proxy_of(member).stats.malformed_payloads == 1

@@ -163,3 +163,30 @@ class TestAttrMap:
                 assert decoded[key] == pytest.approx(value, nan_ok=True)
             else:
                 assert decoded[key] == value
+
+
+class TestFrameLists:
+    """Batch framing: length-prefixed opaque frame lists."""
+
+    def test_roundtrip(self):
+        frames = [b"", b"a", b"\x01\x02\x03", b"x" * 300]
+        decoded, pos = wire.decode_frames(wire.encode_frames(frames))
+        assert decoded == frames
+        assert pos == len(wire.encode_frames(frames))
+
+    def test_empty_list(self):
+        assert wire.decode_frames(wire.encode_frames([])) == ([], 1)
+
+    def test_truncated_frame_rejected(self):
+        encoded = wire.encode_frames([b"abcdef"])
+        with pytest.raises(CodecError):
+            wire.decode_frames(encoded[:-2])
+
+    def test_huge_count_rejected(self):
+        with pytest.raises(CodecError):
+            wire.decode_frames(wire.encode_varint(10 ** 9))
+
+    @given(st.lists(st.binary(max_size=64), max_size=20))
+    def test_roundtrip_property(self, frames):
+        decoded, _ = wire.decode_frames(wire.encode_frames(frames))
+        assert decoded == frames
