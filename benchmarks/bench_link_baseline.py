@@ -1,12 +1,18 @@
-"""E3/E4 — the paper's in-text link measurements.
+"""E3/E4 — the paper's in-text link measurements, plus the transport gate.
 
 "The latency on the link is 1.5ms on average (0.6ms minimum, 2.3ms maximum
 taken over the link for 1 minute)" and "the link can sustain a throughput
 of approximately 575KB/s when simply transferring data from one host to
 another."
+
+The second test gates the sliding-window/SACK reliable channel: on a
+lossy 20 ms-RTT simulated link, window=32 must sustain at least 5x the
+goodput of stop-and-wait.  A regression in the windowed transport
+(retransmit starvation, go-back-N bursts, SACK breakage) collapses the
+ratio and fails the build.
 """
 
-from repro.bench.experiments import run_link_baseline
+from repro.bench.experiments import run_link_baseline, run_window_goodput
 
 
 def test_link_latency_and_raw_throughput(once, benchmark):
@@ -25,3 +31,26 @@ def test_link_latency_and_raw_throughput(once, benchmark):
     assert 2.0 < result["latency_ms_max"] < 2.4
     # E4: ~575 KB/s raw transfer.
     assert 520.0 < result["bulk_throughput_kb_s"] < 630.0
+
+
+def test_windowed_channel_goodput_gate(once, benchmark):
+    """window=32 with SACK >= 5x stop-and-wait on a lossy 20 ms-RTT link."""
+    result = once(run_window_goodput)
+    sw, win = result[1], result[32]
+    print()
+    print(f"  stop-and-wait: {sw['goodput_kb_s']:7.1f} KB/s "
+          f"({sw['retransmissions']} rtx)  "
+          f"window=32: {win['goodput_kb_s']:7.1f} KB/s "
+          f"({win['retransmissions']} rtx, "
+          f"{win['fast_retransmits']} fast)  "
+          f"speedup {result['speedup']:.1f}x")
+    benchmark.extra_info.update({
+        "stop_and_wait_kb_s": round(sw["goodput_kb_s"], 1),
+        "window32_kb_s": round(win["goodput_kb_s"], 1),
+        "speedup": round(result["speedup"], 2),
+    })
+    # The hard CI gate (virtual-time, seeded loss: fully deterministic).
+    assert result["speedup"] >= 5.0
+    # SACK means only genuinely lost packets are retransmitted: far fewer
+    # retransmissions than a go-back-N burst per loss would produce.
+    assert win["retransmissions"] <= sw["retransmissions"] * 3

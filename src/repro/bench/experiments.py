@@ -91,7 +91,10 @@ def run_fig4a(payload_sizes: tuple[int, ...] = FIG4A_PAYLOAD_SIZES,
         name="fig4a", x_label="Payload Size (bytes)",
         y_label="Response Time (ms)")
     for engine in engines:
-        testbed = build_paper_testbed(engine=engine, seed=seed)
+        # window=1: the paper's figures were measured over the
+        # stop-and-wait transport (one event outstanding, so the window
+        # could not matter anyway — pinning keeps the reproduction exact).
+        testbed = build_paper_testbed(engine=engine, seed=seed, window=1)
         series = Series(label=ENGINE_LABELS.get(engine, engine))
         for size in payload_sizes:
             values = []
@@ -120,13 +123,14 @@ def run_fig4a(payload_sizes: tuple[int, ...] = FIG4A_PAYLOAD_SIZES,
 def run_fig4b(payload_sizes: tuple[int, ...] = FIG4B_PAYLOAD_SIZES,
               duration_s: float = 30.0, pipeline_depth: int = 4,
               engines: tuple[str, ...] = PAPER_ENGINES,
-              seed: int = 0, batch_size: int = 1) -> ExperimentResult:
+              seed: int = 0, batch_size: int = 1,
+              window: int = 1,
+              link_profile=None) -> ExperimentResult:
     """Sustained payload throughput of the event bus against message size.
 
-    The publisher keeps ``pipeline_depth`` events outstanding (filling the
-    stop-and-wait channel as acknowledgements return) for ``duration_s`` of
-    virtual time; throughput counts payload bytes delivered per second of
-    the delivery span.
+    The publisher keeps ``pipeline_depth`` events outstanding for
+    ``duration_s`` of virtual time; throughput counts payload bytes
+    delivered per second of the delivery span.
 
     ``batch_size > 1`` engages the batch publish pipeline: the publisher
     coalesces that many PUBLISH frames per reliable payload, the bus
@@ -134,16 +138,31 @@ def run_fig4b(payload_sizes: tuple[int, ...] = FIG4B_PAYLOAD_SIZES,
     round, and the subscriber's proxy flushes one BATCH packet per
     scheduling round — the per-packet overheads the per-event path pays
     per event are amortised across the whole batch.
+
+    ``window`` sets every hop's reliable-channel window.  The default of 1
+    reproduces the paper's stop-and-wait transport (the published Figure
+    4(b) curves); larger values engage the sliding-window/SACK channel so
+    outstanding payloads stream without a round trip per frame — the
+    window-sweep benchmark measures the difference.
+
+    ``link_profile`` swaps the testbed's USB cable for another link model
+    (see :func:`~repro.bench.testbed.build_paper_testbed`); on the USB
+    link the PDA's per-event software cost dominates and the window
+    barely registers — exactly the paper's point about copy costs — so
+    the window sweep runs over a high-RTT uplink instead.
     """
     result = ExperimentResult(
         name="fig4b", x_label="Payload Size (bytes)",
         y_label="Throughput (Kilobytes per second)")
     result.notes["batch_size"] = batch_size
+    result.notes["window"] = window
     for engine in engines:
         series = Series(label=ENGINE_LABELS.get(engine, engine))
         events_per_second: dict[int, float] = {}
         for size in payload_sizes:
-            testbed = build_paper_testbed(engine=engine, seed=seed)
+            testbed = build_paper_testbed(engine=engine, seed=seed,
+                                          window=window,
+                                          link_profile=link_profile)
             delivered, span = _pump_throughput(testbed, size, duration_s,
                                                pipeline_depth, batch_size)
             if span <= 0.0 or delivered < 2:
@@ -251,6 +270,80 @@ def run_link_baseline(seed: int = 0, ping_count: int = 2000,
         "bulk_throughput_kb_s": throughput_kbs,
         "bulk_packets": len(bytes_got),
     }
+
+
+def run_window_goodput(windows: tuple[int, ...] = (1, 32),
+                       messages: int = 400, payload_size: int = 256,
+                       rtt_s: float = 0.020, loss_rate: float = 0.02,
+                       seed: int = 0) -> dict:
+    """Reliable-channel goodput vs send window on a lossy long-RTT link.
+
+    Isolates the transport from the bus: one :class:`ReliableChannel`
+    pair over an in-memory link with ``rtt_s`` round-trip time and
+    seeded datagram loss, pushing ``messages`` payloads through each
+    window setting.  Stop-and-wait pays one RTT per payload; the
+    sliding-window/SACK sender streams a window per RTT and retransmits
+    only the lost packets, so goodput scales with the window until the
+    link saturates — the ratio is CI's regression gate for the windowed
+    transport.
+    """
+    import random
+
+    from repro.transport.inmem import InMemoryHub
+    from repro.transport.packets import Packet
+    from repro.transport.reliability import ReliableChannel
+
+    results: dict = {"rtt_ms": rtt_s * 1000.0, "loss_rate": loss_rate,
+                     "messages": messages, "payload_size": payload_size}
+    payloads = [f"m{i:06d}".encode().ljust(payload_size, b".")
+                for i in range(messages)]
+    for window in windows:
+        sim = Simulator()
+        hub = InMemoryHub(sim, delay_s=rtt_s / 2.0)
+        rng = random.Random(seed)
+        hub.drop_filter = lambda src, dest, data: rng.random() >= loss_rate
+        sender_t, receiver_t = hub.create("tx"), hub.create("rx")
+        got: list[bytes] = []
+        done_at = [0.0]
+
+        def on_deliver(_sender, payload, got=got, done_at=done_at, sim=sim):
+            got.append(payload)
+            done_at[0] = sim.now()
+
+        # RTO just above the RTT so a working link never times out early.
+        sender = ReliableChannel(sender_t, sim, "rx", lambda s, p: None,
+                                 window=window, rto_initial=3.0 * rtt_s,
+                                 rto_max=2.0)
+        receiver = ReliableChannel(receiver_t, sim, "tx", on_deliver,
+                                   window=window)
+        sender_t.set_receiver(
+            lambda src, data: sender.handle_packet(Packet.decode(data)))
+        receiver_t.set_receiver(
+            lambda src, data: receiver.handle_packet(Packet.decode(data)))
+
+        start = sim.now()
+        for payload in payloads:
+            sender.send(payload)
+        deadline = start + 600.0
+        while len(got) < messages and sim.now() < deadline:
+            sim.run(sim.now() + 0.25)
+        if got != payloads:
+            raise SimulationError(
+                f"window={window}: delivered {len(got)}/{messages} "
+                "or stream corrupted")
+        elapsed = done_at[0] - start
+        results[window] = {
+            "goodput_kb_s": messages * payload_size / elapsed / 1024.0,
+            "elapsed_s": elapsed,
+            "retransmissions": sender.stats.retransmissions,
+            "fast_retransmits": sender.stats.fast_retransmits,
+            "acks_sent": receiver.stats.acks_sent,
+        }
+    if len(windows) >= 2:
+        slowest, fastest = windows[0], windows[-1]
+        results["speedup"] = (results[fastest]["goodput_kb_s"]
+                              / results[slowest]["goodput_kb_s"])
+    return results
 
 
 # -- A5: fan-out ---------------------------------------------------------------

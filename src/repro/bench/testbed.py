@@ -22,10 +22,11 @@ from repro.errors import SimulationError
 from repro.matching.filters import Filter
 from repro.sim.hosts import LAPTOP_PROFILE, PDA_PROFILE, SimHost
 from repro.sim.kernel import Simulator
-from repro.sim.radio import USB_IP, SimNetwork
+from repro.sim.radio import USB_IP, LinkProfile, SimNetwork
 from repro.sim.rng import RngRegistry
 from repro.smc.cell import CellConfig, SelfManagedCell
 from repro.transport.endpoint import PacketEndpoint
+from repro.transport.reliability import DEFAULT_WINDOW
 from repro.transport.simnet import SimTransport
 
 #: Event type used by all benchmark traffic.
@@ -94,21 +95,29 @@ class PaperTestbed:
 
 
 def build_paper_testbed(engine: str = "forwarding", seed: int = 0, *,
-                        loss_rate: float = 0.0, window: int = 1,
+                        loss_rate: float = 0.0, window: int = DEFAULT_WINDOW,
                         extra_subscribers: int = 0,
                         enable_quench: bool = False,
-                        subscribe_default: bool = True) -> PaperTestbed:
+                        subscribe_default: bool = True,
+                        link_profile: LinkProfile | None = None) -> PaperTestbed:
     """Assemble the PDA+laptop testbed with the chosen matching engine.
 
     ``extra_subscribers`` attaches additional laptop-side subscriber
-    services (the fan-out ablation); ``loss_rate`` overrides the USB link's
-    loss for the loss ablation.
+    services (the fan-out ablation); ``loss_rate`` overrides the link's
+    loss for the loss ablation.  ``window`` sets every hop's reliable
+    channel window — pipelined by default; pass ``window=1`` for the
+    paper-faithful stop-and-wait transport its figures were measured on.
+    ``link_profile`` swaps the USB cable for another link model (e.g. a
+    high-RTT personal-area uplink), keeping hosts and bus identical — the
+    window-sweep benchmark uses it to expose round-trip serialisation.
     """
     sim = Simulator()
     rng = RngRegistry(seed)
     network = SimNetwork(sim, rng)
-    profile = USB_IP if loss_rate == 0.0 else replace(
-        USB_IP, name=f"usb_ip_loss{loss_rate}", loss_rate=loss_rate)
+    profile = link_profile if link_profile is not None else USB_IP
+    if loss_rate != 0.0:
+        profile = replace(profile, name=f"{profile.name}_loss{loss_rate}",
+                          loss_rate=loss_rate)
     medium = network.add_medium("usb", profile)
 
     pda_host = SimHost(sim, PDA_PROFILE, "pda")

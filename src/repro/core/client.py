@@ -33,6 +33,7 @@ from repro.sim.hosts import INBOUND_COPIES, OUTBOUND_COPIES, CostMeter, NullCost
 from repro.sim.kernel import Scheduler
 from repro.transport.base import Address
 from repro.transport.endpoint import PacketEndpoint
+from repro.transport.reliability import ChannelStats
 from repro.transport.wire import Value
 
 from repro.core import protocol
@@ -131,12 +132,24 @@ class BusClient:
                   for event_type, attributes in items]
         frames = [protocol.frame(BusOp.PUBLISH, encode_event(event))
                   for event in events]
-        for payload in protocol.chunk_frames(frames):
+        # Chunk to the hop's window: one big payload on a stop-and-wait
+        # channel, streaming MTU-sized payloads on a pipelined one.
+        limit = protocol.flush_limit(self.endpoint.window)
+        for payload in protocol.chunk_frames(frames, limit):
             self.meter.charge_copy(OUTBOUND_COPIES * len(payload))
             self.endpoint.send_reliable(self.bus_address, payload)
         self.stats.published += len(events)
         self.stats.batches_sent += 1
         return events
+
+    def transport_stats(self) -> "ChannelStats | None":
+        """Reliability-layer counters for the channel toward the bus core
+        (retransmissions, fast retransmits, duplicates...), or None while
+        disconnected or before any reliable traffic."""
+        if self.bus_address is None:
+            return None
+        channel = self.endpoint.existing_channel(self.bus_address)
+        return channel.stats if channel is not None else None
 
     def advertise(self, filt: Filter) -> None:
         """Declare what this service publishes (enables quenching)."""

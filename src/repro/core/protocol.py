@@ -78,6 +78,23 @@ def parse_unsubscribe(body: bytes) -> int:
 #: overhead across dozens of typical events.
 BATCH_FLUSH_BYTES = 32 * 1024
 
+#: Flush cap for hops whose reliable channel is pipelined (window > 1):
+#: roughly three link MTUs, so a flush becomes several payloads that
+#: stream concurrently in the window, and one lost fragment costs a
+#: small retransmission instead of the whole flush.
+STREAM_FLUSH_BYTES = 4 * 1024
+
+
+def flush_limit(window: int) -> int:
+    """Batch-flush byte cap appropriate for a hop with ``window``.
+
+    A stop-and-wait hop (window <= 1) pays one round trip per reliable
+    payload, so a flush must cram everything into one payload.  A
+    pipelined hop streams many payloads per round trip, where smaller
+    chunks bound fragmentation loss amplification and retransmit cost.
+    """
+    return BATCH_FLUSH_BYTES if window <= 1 else STREAM_FLUSH_BYTES
+
 
 def frame_batch(frames: list[bytes]) -> bytes:
     """Wrap framed payloads into one BATCH payload."""

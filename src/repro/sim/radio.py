@@ -44,6 +44,10 @@ class LinkProfile:
     latency_max_s: float
     bandwidth_bps: float        # bytes per second of serialisation
     loss_rate: float = 0.0
+    #: Probability a delivered datagram arrives twice (each copy samples
+    #: its own latency, so duplicates also reorder) — retransmit-ambiguity
+    #: and route-flap behaviour the reliability tests exercise.
+    duplicate_rate: float = 0.0
     mtu: int = 1472
     range_m: float | None = None   # None = wired / unlimited
 
@@ -55,6 +59,9 @@ class LinkProfile:
             raise ConfigurationError(f"{self.name}: bandwidth must be > 0")
         if not 0.0 <= self.loss_rate < 1.0:
             raise ConfigurationError(f"{self.name}: loss_rate must be in [0, 1)")
+        if not 0.0 <= self.duplicate_rate < 1.0:
+            raise ConfigurationError(
+                f"{self.name}: duplicate_rate must be in [0, 1)")
         if self.mtu < 64:
             raise ConfigurationError(f"{self.name}: mtu must be >= 64 bytes")
 
@@ -284,12 +291,18 @@ class SimNetwork:
                 self.datagrams_dropped += 1
                 return
 
-        latency = profile.sample_latency(self.rng)
-        if self.latency_probe is not None:
-            self.latency_probe.append(latency)
-        arrival = departure + profile.serialisation_time(len(payload)) + latency
-        self.scheduler.call_at(arrival, self._arrive, src.name, dest.name,
-                               payload, nfrags)
+        copies = 1
+        if (profile.duplicate_rate
+                and self.rng.random() < profile.duplicate_rate):
+            copies = 2
+        for _ in range(copies):
+            latency = profile.sample_latency(self.rng)
+            if self.latency_probe is not None:
+                self.latency_probe.append(latency)
+            arrival = (departure + profile.serialisation_time(len(payload))
+                       + latency)
+            self.scheduler.call_at(arrival, self._arrive, src.name, dest.name,
+                                   payload, nfrags)
 
     def _arrive(self, src_name: str, dest_name: str, payload: bytes,
                 nfrags: int) -> None:

@@ -31,6 +31,7 @@ from repro.policy.language import parse_policies
 from repro.sim.kernel import Scheduler
 from repro.transport.base import Transport
 from repro.transport.endpoint import PacketEndpoint
+from repro.transport.reliability import DEFAULT_WINDOW
 from repro.transport.simnet import SimTransport
 
 
@@ -44,8 +45,10 @@ class CellConfig:
     #: "siena" (first generation, translation-costed), "typed", "brute".
     engine: str = "forwarding"
     enable_quench: bool = False
-    #: Reliable-channel tuning for all member links.
-    window: int = 1
+    #: Reliable-channel tuning for all member links.  The default window
+    #: pipelines every hop (see transport.reliability.DEFAULT_WINDOW);
+    #: window=1 restores the paper's stop-and-wait measurement behaviour.
+    window: int = DEFAULT_WINDOW
     rto_initial_s: float = 0.05
     rto_max_s: float = 2.0
     #: Discovery timing (see DiscoveryConfig).

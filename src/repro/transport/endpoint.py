@@ -18,6 +18,7 @@ upper layers can address peers by id alone.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable
 
 from repro.errors import AddressError, PacketError
@@ -25,7 +26,7 @@ from repro.ids import ServiceId
 from repro.sim.kernel import Scheduler
 from repro.transport.base import Address, Transport
 from repro.transport.packets import Packet, PacketType
-from repro.transport.reliability import ReliableChannel
+from repro.transport.reliability import DEFAULT_WINDOW, ChannelStats, ReliableChannel
 
 ControlHandler = Callable[[Packet, Address], None]
 PayloadHandler = Callable[[ServiceId, bytes], None]
@@ -41,7 +42,7 @@ class PacketEndpoint:
     """Demultiplexes one transport into control and reliable-data planes."""
 
     def __init__(self, transport: Transport, scheduler: Scheduler,
-                 *, window: int = 1, rto_initial: float = 0.05,
+                 *, window: int = DEFAULT_WINDOW, rto_initial: float = 0.05,
                  rto_max: float = 2.0, max_retries: int | None = None) -> None:
         self.transport = transport
         self.scheduler = scheduler
@@ -66,6 +67,16 @@ class PacketEndpoint:
     @property
     def local_address(self) -> Address:
         return self.transport.local_address
+
+    @property
+    def window(self) -> int:
+        """Send window every channel of this endpoint is created with.
+
+        Upper layers use it to pick a batch flush size: a stop-and-wait
+        hop wants one big payload per flush, a pipelined hop wants
+        MTU-sized payloads that stream concurrently.
+        """
+        return self._window
 
     # -- wiring ------------------------------------------------------------
 
@@ -128,6 +139,31 @@ class PacketEndpoint:
     def channel_for(self, peer: ServiceId) -> ReliableChannel:
         """The reliable channel to ``peer`` (created if absent)."""
         return self._channel(self.address_of(peer))
+
+    def channel_to(self, address: Address) -> ReliableChannel:
+        """The reliable channel to ``address`` (created if absent)."""
+        return self._channel(address)
+
+    def existing_channel(self, address: Address) -> ReliableChannel | None:
+        """The live channel to ``address``, or None — never creates one.
+
+        The observability accessor: reading stats must not instantiate
+        channel state toward a purged or never-contacted peer.
+        """
+        channel = self._channels.get(address)
+        if channel is None or channel.closed:
+            return None
+        return channel
+
+    def channel_stats(self) -> ChannelStats:
+        """Aggregate reliability counters over every live channel."""
+        total = ChannelStats()
+        for channel in self._channels.values():
+            for field in dataclasses.fields(ChannelStats):
+                setattr(total, field.name,
+                        getattr(total, field.name)
+                        + getattr(channel.stats, field.name))
+        return total
 
     def close_channel(self, peer: ServiceId) -> int:
         """Destroy the channel to ``peer``, dropping any queued payloads.

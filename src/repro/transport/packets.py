@@ -10,6 +10,15 @@ Layout (big-endian)::
 
     0        2     3     4      5          11       15       19         21      25
     | magic  | ver | typ | flag | sender6  | seq4   | ack4   | paylen2  | crc4  | payload...
+
+When the ``SACK`` flag is set, the payload begins with a selective-ack
+block — ``u8 count`` followed by ``count`` inclusive ``(start, end)``
+``u32`` sequence ranges the receiver holds beyond its cumulative ack —
+and the opaque payload follows the block.  Decoders that predate the flag
+parse the same bytes as an ordinary packet whose payload happens to start
+with the block, and the reliability layer ignores ACK payloads, so the
+extension is wire-compatible in both directions (same magic, same
+version, same header).
 """
 
 from __future__ import annotations
@@ -28,6 +37,35 @@ VERSION = 1
 _HEADER = struct.Struct("!2sBBB6sIIHI")
 HEADER_SIZE = _HEADER.size            # 25 bytes
 MAX_PAYLOAD = 0xFFFF
+
+_SACK_RANGE = struct.Struct("!II")
+#: Hard cap on SACK ranges per packet (the count is a single byte).
+MAX_SACK_RANGES = 255
+
+
+def _encode_sack(sack: tuple[tuple[int, int], ...]) -> bytes:
+    parts = [bytes((len(sack),))]
+    parts.extend(_SACK_RANGE.pack(start, end) for start, end in sack)
+    return b"".join(parts)
+
+
+def _sack_wire_size(sack: tuple[tuple[int, int], ...]) -> int:
+    return 1 + _SACK_RANGE.size * len(sack) if sack else 0
+
+
+def _decode_sack(payload: bytes) -> tuple[tuple[tuple[int, int], ...], bytes]:
+    """Split a SACK-flagged payload into (ranges, remaining payload)."""
+    if not payload:
+        raise PacketError("SACK flag set but payload is empty")
+    count = payload[0]
+    end = 1 + _SACK_RANGE.size * count
+    if len(payload) < end:
+        raise PacketError(
+            f"SACK block truncated: {count} ranges need {end} bytes, "
+            f"payload carries {len(payload)}")
+    ranges = tuple(_SACK_RANGE.unpack_from(payload, 1 + _SACK_RANGE.size * i)
+                   for i in range(count))
+    return ranges, payload[end:]
 
 
 class PacketType(enum.IntEnum):
@@ -55,6 +93,9 @@ class PacketFlags(enum.IntFlag):
     #: Receiver should not acknowledge (paper: a temperature sensor "may
     #: periodically transmit data and not require any acknowledgement").
     NO_ACK = 2
+    #: Payload starts with a selective-acknowledgement block (see module
+    #: docstring).  Set/cleared automatically from :attr:`Packet.sack`.
+    SACK = 4
 
 
 @dataclass(frozen=True)
@@ -67,28 +108,47 @@ class Packet:
     ack: int = 0
     payload: bytes = b""
     flags: PacketFlags = PacketFlags.NONE
+    #: Selective-ack ranges: inclusive (start, end) sequence pairs the
+    #: receiver holds beyond its cumulative ack.  Ranges may wrap the
+    #: 32-bit sequence space (start serially <= end).
+    sack: tuple[tuple[int, int], ...] = ()
     version: int = field(default=VERSION, compare=False)
 
     def __post_init__(self) -> None:
-        if len(self.payload) > MAX_PAYLOAD:
-            raise PacketError(f"payload too large: {len(self.payload)} bytes")
+        if len(self.sack) > MAX_SACK_RANGES:
+            raise PacketError(f"too many SACK ranges: {len(self.sack)}")
+        for start, end in self.sack:
+            if not 0 < start <= 0xFFFFFFFF or not 0 < end <= 0xFFFFFFFF:
+                raise PacketError(f"SACK range out of range: {start}-{end}")
+        if len(self.payload) + _sack_wire_size(self.sack) > MAX_PAYLOAD:
+            raise PacketError(
+                f"payload too large: {len(self.payload)} bytes"
+                + (f" + {_sack_wire_size(self.sack)}-byte SACK block"
+                   if self.sack else ""))
         if not 0 <= self.seq <= 0xFFFFFFFF:
             raise PacketError(f"seq out of range: {self.seq}")
         if not 0 <= self.ack <= 0xFFFFFFFF:
             raise PacketError(f"ack out of range: {self.ack}")
+        # The flag bit mirrors the field, whichever way the packet was built.
+        flags = PacketFlags(self.flags)
+        flags = flags | PacketFlags.SACK if self.sack else flags & ~PacketFlags.SACK
+        object.__setattr__(self, "flags", flags)
 
     def encode(self) -> bytes:
         """Serialise to wire bytes, computing the checksum."""
+        payload = self.payload
+        if self.sack:
+            payload = _encode_sack(self.sack) + payload
         header_no_crc = _HEADER.pack(
             MAGIC, self.version, int(self.type), int(self.flags),
             self.sender.to_bytes48(), self.seq, self.ack,
-            len(self.payload), 0)
-        crc = zlib.crc32(header_no_crc + self.payload) & 0xFFFFFFFF
+            len(payload), 0)
+        crc = zlib.crc32(header_no_crc + payload) & 0xFFFFFFFF
         header = _HEADER.pack(
             MAGIC, self.version, int(self.type), int(self.flags),
             self.sender.to_bytes48(), self.seq, self.ack,
-            len(self.payload), crc)
-        return header + self.payload
+            len(payload), crc)
+        return header + payload
 
     @classmethod
     def decode(cls, datagram: bytes) -> "Packet":
@@ -115,13 +175,17 @@ class Packet:
             packet_type = PacketType(ptype)
         except ValueError:
             raise PacketError(f"unknown packet type: {ptype}") from None
+        sack: tuple[tuple[int, int], ...] = ()
+        if flags & PacketFlags.SACK:
+            sack, payload = _decode_sack(payload)
         return cls(type=packet_type, sender=ServiceId.from_bytes48(sender6),
-                   seq=seq, ack=ack, payload=payload,
-                   flags=PacketFlags(flags), version=version)
+                   seq=seq, ack=ack, payload=payload, sack=sack,
+                   flags=PacketFlags(flags) & ~PacketFlags.SACK,
+                   version=version)
 
     @property
     def wire_size(self) -> int:
-        return HEADER_SIZE + len(self.payload)
+        return HEADER_SIZE + _sack_wire_size(self.sack) + len(self.payload)
 
     def __repr__(self) -> str:
         return (f"<Packet {self.type.name} from={self.sender} seq={self.seq} "

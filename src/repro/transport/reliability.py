@@ -1,28 +1,60 @@
-"""Acknowledged, ordered, duplicate-free channel over datagrams.
+"""Pipelined, selectively-acknowledged channel over datagrams.
 
 The paper's delivery semantics (Section II-C) require that management
 events are delivered to each interested member *exactly once while it
 remains a member*, and *in per-sender order*.  Datagrams give neither, so
-each hop (publisher→bus, bus→subscriber) runs one :class:`ReliableChannel`:
+each hop (publisher→bus, bus→subscriber) runs one :class:`ReliableChannel`.
+The original implementation was stop-and-wait — one packet per round trip
+per hop — which capped every hop far below the link rate; this module is
+the windowed redesign the ROADMAP's async-transport step called for.
 
-* every DATA packet carries a sequence number and is retransmitted with
-  exponential backoff until acknowledged ("events are always acknowledged
-  when passing from publisher to event bus, and from the event bus to each
-  subscriber, so that events cannot be lost in transit");
-* the receiver delivers in sequence order, buffering out-of-order arrivals
-  and re-acknowledging duplicates, so the upper layer sees an in-order,
-  duplicate-free byte-message stream;
-* acknowledgements are cumulative and also piggy-backed on reverse DATA
-  traffic.
+Protocol
+========
+
+*Sliding window.*  Up to ``window`` DATA packets may be in flight at once;
+further sends queue.  Every DATA packet carries a 32-bit sequence number
+(1..2^32-1, zero is reserved for "nothing acknowledged", and the space
+wraps back to 1) and a piggy-backed cumulative acknowledgement.
+
+*Selective acknowledgements.*  The receiver delivers in sequence order,
+buffering out-of-order arrivals, and answers every DATA packet with an ACK
+carrying its cumulative ack (the last in-order sequence delivered) plus
+SACK ranges — the inclusive ``(start, end)`` runs it holds beyond the
+cumulative point (:mod:`repro.transport.packets` encodes them in a flagged
+payload prefix).  The sender marks SACKed packets and never retransmits
+them; only genuine holes are resent.
+
+*Retransmit policy.*  Each in-flight packet keeps its **own** retransmit
+deadline and backoff: the retransmit timer is armed for the earliest
+outstanding deadline and is never reset by new transmissions (a steady
+send stream must not starve the oldest unacked packet — the go-back-N
+stall the stop-and-wait code had latent).  When the timer fires, only
+packets whose deadline has passed and that are not SACKed are resent,
+each doubling its private RTO up to ``rto_max``.  Additionally, three
+duplicate cumulative ACKs trigger one fast retransmit of the oldest
+unSACKed packet per loss episode, recovering a single loss in roughly one
+round trip instead of one RTO.
+
+*Sequence arithmetic.*  All seq/ack comparisons use RFC-1982-style serial
+arithmetic (:func:`serial_lt`), so the protocol survives the wrap at
+2^32 — raw integer comparisons misclassify every packet that spans it.
+
+*Exactly-once, in-order.*  Duplicates (retransmissions the ack for which
+was lost, or datagrams the network duplicated) are suppressed and
+re-acknowledged.  The reorder buffer is sized at least as large as the
+window, so a full window of out-of-order arrivals is never dropped; if an
+over-windowed peer still overruns it, drops are counted in
+:attr:`ChannelStats.reorder_drops` and recovered by the peer's RTO.
 
 By default the channel retries forever: the paper queues events for
 unavailable members "which have not yet been declared to have left the
 SMC"; abandoning the queue is the proxy's job, on a Purge Member event,
-via :meth:`close`.
+via :meth:`ReliableChannel.close`.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable
@@ -31,11 +63,41 @@ from repro.errors import ConfigurationError, PacketError
 from repro.ids import ServiceId
 from repro.sim.kernel import Scheduler, Timer
 from repro.transport.base import Address, Transport
-from repro.transport.packets import Packet, PacketFlags, PacketType
+from repro.transport.packets import MAX_SACK_RANGES, Packet, PacketFlags, PacketType
 
 DeliverCallback = Callable[[ServiceId, bytes], None]
 
 _SEQ_MOD = 1 << 32
+_SEQ_HALF = 1 << 31
+
+#: Default send window for every hop.  32 packets keeps a 20 ms-RTT link
+#: busy at the payload sizes the bus moves, while the window-sized reorder
+#: buffer it implies stays tiny.  Stop-and-wait (window=1) remains
+#: available for paper-faithful measurements.
+DEFAULT_WINDOW = 32
+
+#: Duplicate cumulative acks that trigger a fast retransmit.
+FAST_RETRANSMIT_DUPS = 3
+
+
+def serial_lt(a: int, b: int) -> bool:
+    """RFC-1982 serial ``a < b`` in the 32-bit sequence space.
+
+    Correct across the wrap at 2^32 for any two values less than half the
+    space apart — raw integer comparison is wrong for every pair that
+    spans the wrap.
+    """
+    return a != b and ((b - a) % _SEQ_MOD) < _SEQ_HALF
+
+
+def serial_leq(a: int, b: int) -> bool:
+    """RFC-1982 serial ``a <= b``."""
+    return a == b or serial_lt(a, b)
+
+
+def serial_succ(seq: int) -> int:
+    """The next sequence number, skipping the reserved 0."""
+    return (seq + 1) % _SEQ_MOD or 1
 
 
 @dataclass
@@ -45,10 +107,23 @@ class ChannelStats:
     sent: int = 0
     delivered: int = 0
     retransmissions: int = 0
+    fast_retransmits: int = 0
     duplicates: int = 0
     out_of_order: int = 0
+    reorder_drops: int = 0
     acks_sent: int = 0
     give_ups: int = 0
+
+
+@dataclass(slots=True)
+class _InFlight:
+    """Send-side state for one unacknowledged packet."""
+
+    payload: bytes
+    rto: float           # private backoff, doubled on each timeout resend
+    deadline: float      # absolute time of the next retransmission
+    retries: int = 0     # timeout retransmissions so far
+    sacked: bool = False  # receiver holds it; never retransmit
 
 
 class ReliableChannel:
@@ -56,15 +131,18 @@ class ReliableChannel:
 
     def __init__(self, transport: Transport, scheduler: Scheduler,
                  peer_address: Address, deliver: DeliverCallback,
-                 *, window: int = 1, rto_initial: float = 0.05,
+                 *, window: int = DEFAULT_WINDOW, rto_initial: float = 0.05,
                  rto_max: float = 2.0, max_retries: int | None = None,
                  reorder_buffer: int = 64,
-                 on_give_up: Callable[[bytes], None] | None = None) -> None:
+                 on_give_up: Callable[[bytes], None] | None = None,
+                 initial_seq: int = 1) -> None:
         if window < 1:
             raise ConfigurationError(f"window must be >= 1, got {window}")
         if rto_initial <= 0 or rto_max < rto_initial:
             raise ConfigurationError(
                 f"bad RTO bounds: initial={rto_initial}, max={rto_max}")
+        if not 0 < initial_seq < _SEQ_MOD:
+            raise ConfigurationError(f"initial_seq out of range: {initial_seq}")
         self._transport = transport
         self._scheduler = scheduler
         self._peer_address = peer_address
@@ -73,19 +151,26 @@ class ReliableChannel:
         self._rto_initial = rto_initial
         self._rto_max = rto_max
         self._max_retries = max_retries
-        self._reorder_limit = reorder_buffer
+        # A window of out-of-order arrivals must always fit, or a sender
+        # outrunning the buffer would retransmit into the same full buffer
+        # forever (the silent-drop stall the stop-and-wait code had latent).
+        self._reorder_limit = max(reorder_buffer, window)
         self._on_give_up = on_give_up
 
-        # Send side.
-        self._next_seq = 1
+        # Send side.  ``initial_seq`` exists for wraparound tests and
+        # session-resumption experiments; both ends must agree on it.
+        self._next_seq = initial_seq
         self._pending: deque[bytes] = deque()          # not yet transmitted
-        self._in_flight: dict[int, bytes] = {}         # seq -> payload
-        self._retries: dict[int, int] = {}
+        self._in_flight: dict[int, _InFlight] = {}     # seq -> state
         self._retransmit_timer: Timer | None = None
-        self._rto = rto_initial
+        self._timer_deadline = math.inf
+        self._last_cum_ack = 0                         # highest cumulative seen
+        self._dup_acks = 0
+        self._fast_rtx_seq: int | None = None          # one fast rtx per episode
 
         # Receive side.
-        self._expected_seq = 1
+        self._expected_seq = initial_seq
+        self._last_delivered = 0                       # 0 = nothing yet
         self._reorder: dict[int, bytes] = {}
         self._peer_id: ServiceId | None = None
 
@@ -104,6 +189,10 @@ class ReliableChannel:
         return self._peer_id
 
     @property
+    def window(self) -> int:
+        return self._window
+
+    @property
     def closed(self) -> bool:
         return self._closed
 
@@ -118,7 +207,7 @@ class ReliableChannel:
         if unreliable:
             packet = Packet(type=PacketType.RAW,
                             sender=self._transport.service_id,
-                            ack=self._last_in_order(),
+                            ack=self._last_delivered,
                             flags=PacketFlags.NO_ACK, payload=payload)
             self._transport.send(self._peer_address, packet.encode())
             return
@@ -134,8 +223,10 @@ class ReliableChannel:
         if self._closed:
             return
         self._peer_id = packet.sender
-        # Every packet type may carry a piggy-backed cumulative ack.
-        self._process_ack(packet.ack)
+        # Every packet type may carry a piggy-backed cumulative ack; pure
+        # ACKs also carry SACK ranges and feed duplicate-ack detection.
+        self._process_ack(packet.ack, packet.sack,
+                          pure_ack=packet.type == PacketType.ACK)
         if packet.type == PacketType.ACK:
             return
         if packet.type == PacketType.RAW:
@@ -151,58 +242,90 @@ class ReliableChannel:
         self._closed = True
         self._pending.clear()
         self._in_flight.clear()
-        self._retries.clear()
         self._reorder.clear()
         if self._retransmit_timer is not None:
             self._retransmit_timer.cancel()
             self._retransmit_timer = None
+        self._timer_deadline = math.inf
 
     # -- send machinery ----------------------------------------------------
 
+    def _oldest_first(self) -> list[int]:
+        """In-flight sequence numbers, oldest first, wrap-safe."""
+        base = self._next_seq
+        return sorted(self._in_flight, key=lambda s: (s - base) % _SEQ_MOD)
+
     def _pump(self) -> None:
+        now = self._scheduler.now()
         while self._pending and len(self._in_flight) < self._window:
             payload = self._pending.popleft()
             seq = self._next_seq
-            self._next_seq = (self._next_seq + 1) % _SEQ_MOD or 1
-            self._in_flight[seq] = payload
-            self._retries[seq] = 0
+            self._next_seq = serial_succ(seq)
+            self._in_flight[seq] = _InFlight(
+                payload=payload, rto=self._rto_initial,
+                deadline=now + self._rto_initial)
             self._transmit(seq, payload)
-        self._arm_retransmit()
+        self._ensure_timer()
 
     def _transmit(self, seq: int, payload: bytes) -> None:
         packet = Packet(type=PacketType.DATA,
                         sender=self._transport.service_id,
-                        seq=seq, ack=self._last_in_order(), payload=payload)
+                        seq=seq, ack=self._last_delivered, payload=payload)
         self._transport.send(self._peer_address, packet.encode())
         self.stats.sent += 1
 
-    def _arm_retransmit(self) -> None:
+    def _ensure_timer(self) -> None:
+        """Arm the retransmit timer for the earliest outstanding deadline.
+
+        Never *postpones* an armed timer: new transmissions carry later
+        deadlines, and resetting the timer on every send would perpetually
+        starve the oldest unacked packet's retransmission under a steady
+        send stream.  A timer left early by an acked packet fires
+        spuriously and re-arms — harmless.
+        """
+        deadline = min((entry.deadline
+                        for entry in self._in_flight.values()
+                        if not entry.sacked), default=None)
+        if deadline is None:
+            if self._retransmit_timer is not None:
+                self._retransmit_timer.cancel()
+                self._retransmit_timer = None
+            self._timer_deadline = math.inf
+            return
         if self._retransmit_timer is not None:
+            if self._timer_deadline <= deadline + 1e-12:
+                return
             self._retransmit_timer.cancel()
-            self._retransmit_timer = None
-        if self._in_flight:
-            self._retransmit_timer = self._scheduler.call_later(
-                self._rto, self._on_retransmit_timeout)
+        self._timer_deadline = deadline
+        self._retransmit_timer = self._scheduler.call_at(
+            deadline, self._on_retransmit_timeout)
 
     def _on_retransmit_timeout(self) -> None:
         self._retransmit_timer = None
+        self._timer_deadline = math.inf
         if self._closed or not self._in_flight:
             return
-        self._rto = min(self._rto * 2.0, self._rto_max)
-        for seq in sorted(self._in_flight):
-            self._retries[seq] += 1
-            if self._max_retries is not None and self._retries[seq] > self._max_retries:
+        now = self._scheduler.now()
+        for seq in self._oldest_first():
+            entry = self._in_flight[seq]
+            if entry.sacked or entry.deadline > now + 1e-12:
+                continue
+            entry.retries += 1
+            if self._max_retries is not None and entry.retries > self._max_retries:
                 # Skipping one message would permanently stall the peer's
                 # in-order delivery, so exhausting retries means the peer is
                 # unreachable: surrender every queued payload and close.
                 self._give_up()
                 return
-            self._transmit(seq, self._in_flight[seq])
+            entry.rto = min(entry.rto * 2.0, self._rto_max)
+            entry.deadline = now + entry.rto
+            self._transmit(seq, entry.payload)
             self.stats.retransmissions += 1
-        self._pump()
+        self._ensure_timer()
 
     def _give_up(self) -> None:
-        undelivered = [self._in_flight[seq] for seq in sorted(self._in_flight)]
+        undelivered = [self._in_flight[seq].payload
+                       for seq in self._oldest_first()]
         undelivered.extend(self._pending)
         self.stats.give_ups += len(undelivered)
         self.close()
@@ -210,55 +333,106 @@ class ReliableChannel:
             for payload in undelivered:
                 self._on_give_up(payload)
 
-    def _process_ack(self, ack: int) -> None:
-        if ack == 0:
-            return
-        advanced = False
-        for seq in list(self._in_flight):
-            if seq <= ack:
+    def _process_ack(self, ack: int, sack: tuple[tuple[int, int], ...],
+                     *, pure_ack: bool) -> None:
+        for start, end in sack:
+            for seq in list(self._in_flight):
+                if serial_leq(start, seq) and serial_leq(seq, end):
+                    self._in_flight[seq].sacked = True
+        acked = [seq for seq in self._in_flight
+                 if serial_leq(seq, ack)] if ack else []
+        if acked:
+            for seq in acked:
                 del self._in_flight[seq]
-                self._retries.pop(seq, None)
-                advanced = True
-        if advanced:
-            self._rto = self._rto_initial
-            self._pump()
+            self._last_cum_ack = ack
+            self._dup_acks = 0
+            self._fast_rtx_seq = None
+            self._pump()                    # refills the window, re-arms timer
+        elif pure_ack and ack == self._last_cum_ack and self._in_flight:
+            # A duplicate cumulative ack: the receiver got something beyond
+            # a hole.  Three in a row fast-retransmit the hole.
+            self._dup_acks += 1
+            if self._dup_acks >= FAST_RETRANSMIT_DUPS:
+                self._dup_acks = 0
+                self._fast_retransmit()
+        if sack:
+            self._ensure_timer()            # SACKed packets leave the deadline set
+
+    def _fast_retransmit(self) -> None:
+        """Resend the oldest unSACKed packet, once per loss episode."""
+        for seq in self._oldest_first():
+            entry = self._in_flight[seq]
+            if entry.sacked:
+                continue
+            if seq == self._fast_rtx_seq:
+                return                      # already resent this hole
+            self._fast_rtx_seq = seq
+            # Push the timeout out one private RTO, but no backoff: a fast
+            # retransmit is evidence the path works, not that it is slow.
+            entry.deadline = self._scheduler.now() + entry.rto
+            self._transmit(seq, entry.payload)
+            self.stats.retransmissions += 1
+            self.stats.fast_retransmits += 1
+            self._ensure_timer()
+            return
 
     # -- receive machinery ---------------------------------------------------
 
     def _process_data(self, packet: Packet) -> None:
         seq = packet.seq
-        if seq < self._expected_seq:
+        if seq == self._expected_seq:
+            self._deliver_in_order(packet.sender, packet.payload)
+            while self._expected_seq in self._reorder:
+                self._deliver_in_order(packet.sender,
+                                       self._reorder.pop(self._expected_seq))
+            self._send_ack()
+            return
+        if serial_lt(seq, self._expected_seq) or seq in self._reorder:
             self.stats.duplicates += 1
             self._send_ack()
             return
-        if seq > self._expected_seq:
-            self.stats.out_of_order += 1
-            if len(self._reorder) < self._reorder_limit:
-                self._reorder[seq] = packet.payload
-            self._send_ack()
-            return
-        self._deliver_in_order(packet.sender, packet.payload)
-        while self._expected_seq in self._reorder:
-            self._deliver_in_order(packet.sender,
-                                   self._reorder.pop(self._expected_seq))
+        self.stats.out_of_order += 1
+        if len(self._reorder) < self._reorder_limit:
+            self._reorder[seq] = packet.payload
+        else:
+            # Counted, not silent: the SACK we answer with excludes this
+            # seq, so the sender keeps it outstanding and the RTO recovers
+            # it once the buffer drains.
+            self.stats.reorder_drops += 1
         self._send_ack()
 
     def _deliver_in_order(self, sender: ServiceId, payload: bytes) -> None:
-        self._expected_seq = (self._expected_seq + 1) % _SEQ_MOD or 1
+        seq = self._expected_seq
+        self._expected_seq = serial_succ(seq)
+        self._last_delivered = seq
         self.stats.delivered += 1
         self._deliver(sender, payload)
+
+    def _sack_ranges(self) -> tuple[tuple[int, int], ...]:
+        """Contiguous runs held in the reorder buffer, oldest first."""
+        if not self._reorder:
+            return ()
+        base = self._expected_seq
+        keys = sorted(self._reorder, key=lambda s: (s - base) % _SEQ_MOD)
+        ranges: list[tuple[int, int]] = []
+        start = prev = keys[0]
+        for seq in keys[1:]:
+            if seq == serial_succ(prev):
+                prev = seq
+                continue
+            ranges.append((start, prev))
+            start = prev = seq
+        ranges.append((start, prev))
+        return tuple(ranges[:MAX_SACK_RANGES])
 
     def _send_ack(self) -> None:
         packet = Packet(type=PacketType.ACK,
                         sender=self._transport.service_id,
-                        ack=self._last_in_order())
+                        ack=self._last_delivered, sack=self._sack_ranges())
         self._transport.send(self._peer_address, packet.encode())
         self.stats.acks_sent += 1
 
-    def _last_in_order(self) -> int:
-        return (self._expected_seq - 1) % _SEQ_MOD
-
     def __repr__(self) -> str:
         return (f"<ReliableChannel peer={self._peer_address!r} "
-                f"in_flight={len(self._in_flight)} pending={len(self._pending)} "
-                f"expected={self._expected_seq}>")
+                f"window={self._window} in_flight={len(self._in_flight)} "
+                f"pending={len(self._pending)} expected={self._expected_seq}>")

@@ -18,15 +18,20 @@ from repro.transport.endpoint import PacketEndpoint
 class CoreKit:
     """A bus core on node "core" plus helpers to admit/purge members."""
 
-    def __init__(self, sim, hub):
+    def __init__(self, sim, hub, window=None):
         self.sim = sim
         self.hub = hub
-        self.core_endpoint = PacketEndpoint(hub.create("core"), sim)
+        endpoint_kwargs = {} if window is None else {"window": window}
+        self.window = window
+        self.core_endpoint = PacketEndpoint(hub.create("core"), sim,
+                                            **endpoint_kwargs)
         self.bus = EventBus(sim, make_engine("forwarding"))
         self.bootstrap = ProxyBootstrap(self.bus, self.core_endpoint)
         self.discovery = self.bus.local_publisher("manual-discovery")
 
     def device_endpoint(self, name, **kwargs) -> PacketEndpoint:
+        if self.window is not None:
+            kwargs.setdefault("window", self.window)
         return PacketEndpoint(self.hub.create(name), self.sim, **kwargs)
 
     def admit(self, endpoint, name=None, device_type="service"):

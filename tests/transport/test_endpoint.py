@@ -172,3 +172,28 @@ class TestChannels:
         sim.run_until_idle()
         assert got_b == [b"to-b"]
         assert got_c == [b"to-c"]
+
+
+class TestChannelObservability:
+    def test_channel_stats_aggregates_all_channels(self, sim, endpoints):
+        a, b, c = endpoints("a"), endpoints("b"), endpoints("c")
+        b.set_payload_handler(lambda peer, data: None)
+        c.set_payload_handler(lambda peer, data: None)
+        a.send_reliable("b", b"to-b")
+        a.send_reliable("c", b"to-c")
+        sim.run_until_idle()
+        total = a.channel_stats()
+        assert total.sent == 2
+        assert total.retransmissions == 0
+        assert b.channel_stats().delivered == 1
+        assert c.channel_stats().acks_sent == 1
+
+    def test_existing_channel_never_creates_state(self, sim, endpoints):
+        a = endpoints("a")
+        endpoints("b")
+        assert a.existing_channel("b") is None      # no traffic yet
+        a.send_reliable("b", b"x")
+        sim.run_until_idle()
+        assert a.existing_channel("b") is not None
+        a.reset_channel_to("b")
+        assert a.existing_channel("b") is None      # closed, not resurrected

@@ -112,3 +112,78 @@ class TestValidation:
             Packet.decode(garbage)
         except PacketError:
             pass
+
+
+class TestSack:
+    """Selective-ack block: flagged payload prefix, wire-compatible."""
+
+    def test_ack_with_sack_roundtrips(self):
+        packet = Packet(type=PacketType.ACK, sender=SENDER, ack=5,
+                        sack=((7, 9), (12, 12)))
+        decoded = Packet.decode(packet.encode())
+        assert decoded.sack == ((7, 9), (12, 12))
+        assert decoded.ack == 5
+        assert decoded.flags & PacketFlags.SACK
+        assert decoded.payload == b""
+        assert decoded == packet
+
+    def test_sack_coexists_with_payload(self):
+        packet = Packet(type=PacketType.DATA, sender=SENDER, seq=3, ack=1,
+                        sack=((5, 6),), payload=b"body bytes")
+        decoded = Packet.decode(packet.encode())
+        assert decoded.sack == ((5, 6),)
+        assert decoded.payload == b"body bytes"
+
+    def test_plain_packets_unchanged(self):
+        # Backward compatibility: a packet without SACK encodes and
+        # decodes exactly as before the field existed.
+        packet = Packet(type=PacketType.ACK, sender=SENDER, ack=9)
+        assert len(packet.encode()) == HEADER_SIZE
+        decoded = Packet.decode(packet.encode())
+        assert decoded.sack == ()
+        assert not decoded.flags & PacketFlags.SACK
+
+    def test_sack_flag_mirrors_field(self):
+        # The flag is derived from the field, never set independently.
+        with_sack = Packet(type=PacketType.ACK, sender=SENDER,
+                           sack=((1, 2),))
+        assert with_sack.flags & PacketFlags.SACK
+        without = Packet(type=PacketType.ACK, sender=SENDER)
+        assert not without.flags & PacketFlags.SACK
+
+    def test_wraparound_range_roundtrips(self):
+        packet = Packet(type=PacketType.ACK, sender=SENDER,
+                        ack=2**32 - 5, sack=((2**32 - 2, 3),))
+        assert Packet.decode(packet.encode()).sack == ((2**32 - 2, 3),)
+
+    def test_wire_size_counts_sack_block(self):
+        packet = Packet(type=PacketType.ACK, sender=SENDER, sack=((1, 4),))
+        assert packet.wire_size == HEADER_SIZE + 1 + 8
+        assert len(packet.encode()) == packet.wire_size
+
+    def test_zero_range_rejected(self):
+        with pytest.raises(PacketError):
+            Packet(type=PacketType.ACK, sender=SENDER, sack=((0, 3),))
+
+    def test_too_many_ranges_rejected(self):
+        ranges = tuple((i + 1, i + 1) for i in range(256))
+        with pytest.raises(PacketError):
+            Packet(type=PacketType.ACK, sender=SENDER, sack=ranges)
+
+    def test_truncated_sack_block_rejected(self):
+        import zlib
+        from repro.transport import packets
+        # Handcraft a SACK-flagged packet whose payload claims 5 ranges
+        # but carries none.
+        payload = b"\x05"
+        header_no_crc = packets._HEADER.pack(
+            packets.MAGIC, packets.VERSION, int(PacketType.ACK),
+            int(PacketFlags.SACK), SENDER.to_bytes48(), 0, 0,
+            len(payload), 0)
+        crc = zlib.crc32(header_no_crc + payload) & 0xFFFFFFFF
+        header = packets._HEADER.pack(
+            packets.MAGIC, packets.VERSION, int(PacketType.ACK),
+            int(PacketFlags.SACK), SENDER.to_bytes48(), 0, 0,
+            len(payload), crc)
+        with pytest.raises(PacketError):
+            Packet.decode(header + payload)
