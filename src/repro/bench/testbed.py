@@ -99,6 +99,7 @@ def build_paper_testbed(engine: str = "forwarding", seed: int = 0, *,
                         extra_subscribers: int = 0,
                         enable_quench: bool = False,
                         subscribe_default: bool = True,
+                        shards: int = 1,
                         link_profile: LinkProfile | None = None) -> PaperTestbed:
     """Assemble the PDA+laptop testbed with the chosen matching engine.
 
@@ -107,9 +108,12 @@ def build_paper_testbed(engine: str = "forwarding", seed: int = 0, *,
     loss for the loss ablation.  ``window`` sets every hop's reliable
     channel window — pipelined by default; pass ``window=1`` for the
     paper-faithful stop-and-wait transport its figures were measured on.
-    ``link_profile`` swaps the USB cable for another link model (e.g. a
-    high-RTT personal-area uplink), keeping hosts and bus identical — the
-    window-sweep benchmark uses it to expose round-trip serialisation.
+    ``shards`` partitions the PDA bus's subscription table across that
+    many matching shards (1 = the paper's single bus; the figures are all
+    measured at 1).  ``link_profile`` swaps the USB cable for another
+    link model (e.g. a high-RTT personal-area uplink), keeping hosts and
+    bus identical — the window-sweep benchmark uses it to expose
+    round-trip serialisation.
     """
     sim = Simulator()
     rng = RngRegistry(seed)
@@ -131,7 +135,7 @@ def build_paper_testbed(engine: str = "forwarding", seed: int = 0, *,
     cell = SelfManagedCell(
         SimTransport(network, "pda"), sim,
         CellConfig(cell_name="paper-testbed", patient="bench",
-                   engine=engine, window=window,
+                   engine=engine, window=window, shards=shards,
                    enable_quench=enable_quench,
                    # RTO above the PDA's worst-case per-event processing
                    # time: a working link must not trigger spurious

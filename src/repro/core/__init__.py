@@ -35,6 +35,7 @@ from repro.core.events import (
 from repro.core.proxies import ActuatorProxy, SensorProxy, ServiceProxy
 from repro.core.proxy import DeviceTranslator, Proxy
 from repro.core.quench import QuenchController
+from repro.core.sharding import ShardedEventBus, ShardedMatcher
 
 __all__ = [
     "Event",
@@ -46,6 +47,8 @@ __all__ = [
     "purge_member_event",
     "EventBus",
     "BusStats",
+    "ShardedEventBus",
+    "ShardedMatcher",
     "Proxy",
     "DeviceTranslator",
     "ServiceProxy",

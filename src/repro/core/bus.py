@@ -306,14 +306,37 @@ class EventBus:
         """Match and dispatch a batch of events; returns the fresh count.
 
         Semantically equivalent to calling :meth:`publish` per event (the
-        differential and soak suites enforce this) but amortised: one
-        watermark/dedup pass, one :meth:`MatchingEngine.match_batch` call,
-        and deliveries *coalesced per subscriber* — each interested proxy
+        differential and soak suites enforce this) but amortised, and
+        split into two phases so the matching work can be partitioned
+        while the delivery state cannot:
+
+        * **match phase** — one watermark/dedup pass, then one
+          :meth:`MatchingEngine.match_batch_ids` call.  This phase is a
+          pure function of the subscription table and the event stream,
+          which is what lets :class:`~repro.core.sharding.ShardedEventBus`
+          fan it out across shards and merge the per-event id sets;
+        * **dispatch phase** — shared regardless of how matching was
+          partitioned: watermarks, subscription ownership, proxies and
+          the quench hook live only on this bus object, so
+          exactly-once-per-component and the :class:`BusStats` invariant
+          hold unchanged under sharding.
+
+        Deliveries are *coalesced per subscriber* — each interested proxy
         receives its whole slice of the batch in one
         :meth:`~repro.core.proxy.Proxy.deliver_batch` flush (one packet
         per scheduling round instead of one per event), and each local
         callback is scheduled once with its slice.
         """
+        fresh = self._dedup_phase(events)
+        if not fresh:
+            return 0
+        matched_ids = self.engine.match_batch_ids(
+            [event.attrs_view() for event in fresh])
+        self._dispatch_phase(fresh, matched_ids)
+        return len(fresh)
+
+    def _dedup_phase(self, events: Sequence[Event]) -> list[Event]:
+        """Watermark pass: count every attempt, keep the fresh events."""
         stats = self.stats
         watermarks = self._watermarks
         fresh: list[Event] = []
@@ -324,30 +347,32 @@ class EventBus:
                 continue
             watermarks[event.sender] = event.seqno
             fresh.append(event)
-        if not fresh:
-            return 0
+        return fresh
 
-        matched_lists = self.engine.match_batch(
-            [event.attrs_view() for event in fresh])
+    def _dispatch_phase(self, fresh: Sequence[Event],
+                        matched_ids: Sequence[Sequence[int]]) -> None:
+        """Coalesce deliveries: per-subscriber FIFO slices of the batch.
 
-        # Coalesce deliveries: per-subscriber FIFO slices of the batch.
+        ``matched_ids`` carries one sorted, duplicate-free subscription-id
+        list per fresh event; delivery stays once per interested
+        *component* because local ids are unique per event and remote
+        owners are deduplicated here.
+        """
+        stats = self.stats
         local_slices: dict[int, list[Event]] = {}
         remote_slices: dict[ServiceId, list[Event]] = {}
         sub_owner = self._sub_owner
         local_callbacks = self._local_callbacks
-        for event, matched in zip(fresh, matched_lists):
+        for event, matched in zip(fresh, matched_ids):
             if not matched:
                 stats.unmatched += 1
                 continue
             stats.matched += 1
-            local_done = set()
             remote_done = set()
-            for subscription in matched:
-                owner = sub_owner.get(subscription.sub_id)
+            for sub_id in matched:
+                owner = sub_owner.get(sub_id)
                 if owner is None:
-                    sub_id = subscription.sub_id
-                    if sub_id in local_callbacks and sub_id not in local_done:
-                        local_done.add(sub_id)
+                    if sub_id in local_callbacks:
                         local_slices.setdefault(sub_id, []).append(event)
                         stats.delivered_local += 1
                 elif owner not in remote_done:
@@ -366,7 +391,6 @@ class EventBus:
             proxy = self._proxies.get(owner)
             if proxy is not None:
                 proxy.deliver_batch(events_slice)
-        return len(fresh)
 
     # -- quenching -----------------------------------------------------------
 

@@ -53,8 +53,22 @@ class QuenchController:
         self._evaluate(member)
 
     def withdraw_advertisement(self, member: ServiceId) -> None:
+        """Remove ``member``'s advertisement, waking it if it was quenched.
+
+        Without an advertisement on record the controller can no longer
+        justify muting the publisher, and nothing else will: a withdrawn
+        member is skipped by every subsequent re-evaluation, so a member
+        that re-advertises (a proxy re-registering, a device switching
+        streams) would otherwise stay muted forever while
+        ``currently_quenched`` reported nobody quenched.  A member that is
+        already purged has no proxy to send through — it starts its next
+        membership session unquenched anyway.
+        """
         self._advertisements.pop(member, None)
-        self._quenched.pop(member, None)
+        was_quenched = self._quenched.pop(member, False)
+        if was_quenched and self.bus.is_member(member):
+            self.bus.proxy_of(member).send_quench(False)
+            self.stats.wake_messages_sent += 1
         self._recount()
 
     # -- subscription-change hook (called by the bus) ----------------------

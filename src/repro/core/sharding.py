@@ -1,0 +1,280 @@
+"""The sharded event bus: partitioned matching, shared dispatch.
+
+The ROADMAP's "sharded buses" step: once the transport is pipelined
+(PR 2), the bus CPU — not the link — caps the event service, exactly as
+the paper's Figure 4 found for its own testbed.  The matching side of
+:meth:`~repro.core.bus.EventBus.publish_batch` is a pure function of the
+subscription table and the event stream, so it can be partitioned; the
+delivery side (watermarks, subscription ownership, proxies, quenching)
+cannot, because exactly-once-per-component is a property of the whole
+member, not of any table fragment.  This module splits the bus exactly
+along that line:
+
+* :class:`ShardedMatcher` — a composite
+  :class:`~repro.matching.engine.MatchingEngine` that routes every filter
+  to one of N inner engines by its attribute-name class
+  (:func:`repro.matching.forwarding.name_class`) and merges the per-shard
+  match-id sets.  A filter can only match events carrying all of its
+  class's names, so each shard sees only the slice of every event it can
+  act on (its *projection*);
+* :class:`ShardedEventBus` — an :class:`~repro.core.bus.EventBus` built
+  around a :class:`ShardedMatcher`.  The match phase fans out; the
+  dispatch phase — and therefore the :class:`~repro.core.bus.BusStats`
+  invariant and every delivery guarantee — is the single shared code
+  path of the base class.
+
+Why shard on one core at all?  Registration churn.  Every subscribe or
+unsubscribe wholesale-invalidates the forwarding engine's satisfied-value
+memo (the price of its simple invalidation rule), and ubiquitous-health
+cells churn constantly — members join, roam and are purged.  Partitioning
+the table confines each invalidation to the one shard the subscription's
+class routes to, so the other shards stay warm: the shard-scaling gate in
+``benchmarks/bench_matching.py`` measures ~2.1x batch throughput at 8
+shards under steady churn.  The same split is what makes the next step —
+running shards on separate cores or processes — a transport problem
+rather than a semantics problem.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.matching.engine import MatchingEngine, make_engine
+from repro.matching.filters import Filter, Subscription
+from repro.matching.forwarding import name_class
+from repro.sim.hosts import CostMeter
+from repro.sim.kernel import Scheduler
+from repro.transport.wire import Value
+
+from repro.core.bus import EventBus
+
+#: Default shard count for a sharded bus.  Eight covers the class
+#: diversity of realistic vitals workloads without leaving most shards
+#: empty, and is the configuration the CI scaling gate pins.
+DEFAULT_SHARDS = 8
+
+EngineFactory = Callable[[], MatchingEngine]
+
+
+def shard_index(names: Iterable[str], shard_count: int) -> int:
+    """Deterministic shard for one attribute-name class.
+
+    CRC-32 over the sorted, delimiter-joined names — stable across
+    processes, platforms and runs (unlike the interpreter's salted
+    ``hash``), so a subscription routes to the same shard on every node
+    of a federation and in every replay of a seeded simulation.
+    """
+    if shard_count == 1:
+        return 0
+    key = "\x1f".join(sorted(names)).encode("utf-8")
+    return zlib.crc32(key) % shard_count
+
+
+class ShardedMatcher(MatchingEngine):
+    """Composite engine: N inner engines, one subscription table.
+
+    Filters are routed by :func:`shard_index` of their name class; a
+    subscription whose filters span classes registers a fragment in every
+    shard it touches, and an event's match set is the union of the shard
+    results — exactly the disjunction semantics of multi-filter
+    subscriptions, so the union *is* the merge step.
+
+    Empty filters (zero constraints, match everything) are kept at the
+    composite level rather than in any shard: their subscriptions join
+    every match set directly, which spares the shards a per-event
+    always-set and keeps "hash empty classes consistently" trivially
+    true.
+    """
+
+    def __init__(self, shard_count: int = DEFAULT_SHARDS,
+                 engine: str | EngineFactory = "forwarding") -> None:
+        super().__init__()
+        if shard_count < 1:
+            raise ConfigurationError(
+                f"shard_count must be >= 1, got {shard_count}")
+        if isinstance(engine, str):
+            engine_name = engine
+            factory: EngineFactory = lambda: make_engine(engine_name)
+        else:
+            factory = engine
+        self.shard_count = shard_count
+        self._shards: tuple[MatchingEngine, ...] = tuple(
+            factory() for _ in range(shard_count))
+        self.name = f"sharded-{shard_count}x{self._shards[0].name}"
+        # sub id -> shard indexes holding one of its filter fragments.
+        self._routes: dict[int, tuple[int, ...]] = {}
+        # attribute name -> {shard index: filters constraining it there}.
+        self._name_shards: dict[str, dict[int, int]] = {}
+        # sub ids with an empty (match-everything) filter.
+        self._always_subs: set[int] = set()
+
+    def set_meter(self, meter: CostMeter) -> None:
+        """Forward cost accounting to every shard that supports it.
+
+        Work-proportional charges (e.g. the Siena backend's translation
+        copies) must keep flowing to the simulated host under sharding,
+        and each consulted shard pays its own per-invocation base cost —
+        faithful for N engines run on one host, and identical to the
+        single engine at ``shard_count=1``.  The composite itself charges
+        nothing.
+        """
+        for shard in self._shards:
+            set_shard_meter = getattr(shard, "set_meter", None)
+            if set_shard_meter is not None:
+                set_shard_meter(meter)
+
+    # -- introspection ----------------------------------------------------
+
+    def shard_engines(self) -> tuple[MatchingEngine, ...]:
+        return self._shards
+
+    def shard_loads(self) -> list[int]:
+        """Registered subscription fragments per shard."""
+        return [len(shard) for shard in self._shards]
+
+    def shard_of_filter(self, filt: Filter) -> int:
+        """The shard a (non-empty) filter routes to."""
+        return shard_index(name_class(filt), self.shard_count)
+
+    # -- registration ----------------------------------------------------
+
+    def _group_filters(self, subscription: Subscription
+                       ) -> tuple[dict[int, list[Filter]], int]:
+        per_shard: dict[int, list[Filter]] = {}
+        always = 0
+        for filt in subscription.filters:
+            names = name_class(filt)
+            if not names:
+                always += 1
+                continue
+            per_shard.setdefault(
+                shard_index(names, self.shard_count), []).append(filt)
+        return per_shard, always
+
+    def _index(self, subscription: Subscription) -> None:
+        per_shard, always = self._group_filters(subscription)
+        for sidx, filters in per_shard.items():
+            self._shards[sidx].subscribe(
+                Subscription(subscription.sub_id, subscription.subscriber,
+                             filters))
+            for filt in filters:
+                for name in name_class(filt):
+                    refs = self._name_shards.setdefault(name, {})
+                    refs[sidx] = refs.get(sidx, 0) + 1
+        if always:
+            self._always_subs.add(subscription.sub_id)
+        self._routes[subscription.sub_id] = tuple(per_shard)
+
+    def _deindex(self, subscription: Subscription) -> None:
+        for sidx in self._routes.pop(subscription.sub_id, ()):
+            self._shards[sidx].unsubscribe(subscription.sub_id)
+        per_shard, always = self._group_filters(subscription)
+        for sidx, filters in per_shard.items():
+            for filt in filters:
+                for name in name_class(filt):
+                    refs = self._name_shards[name]
+                    refs[sidx] -= 1
+                    if not refs[sidx]:
+                        del refs[sidx]
+                        if not refs:
+                            del self._name_shards[name]
+        if always:
+            self._always_subs.discard(subscription.sub_id)
+
+    # -- matching ---------------------------------------------------------
+
+    def _project(self, attributes: Mapping[str, Value]
+                 ) -> dict[int, dict[str, Value]]:
+        """Per-shard slices of one event: only the names a shard indexes.
+
+        Correct because a shard's filters constrain nothing outside its
+        indexed names — attributes it never sees cannot change its
+        verdict — and it keeps the per-event cost of consulting N shards
+        at one pass over the attributes instead of N.
+        """
+        name_shards = self._name_shards
+        projections: dict[int, dict[str, Value]] = {}
+        for name, value in attributes.items():
+            shards = name_shards.get(name)
+            if not shards:
+                continue
+            for sidx in shards:
+                slice_ = projections.get(sidx)
+                if slice_ is None:
+                    projections[sidx] = slice_ = {}
+                slice_[name] = value
+        return projections
+
+    def _match_ids(self, attributes: Mapping[str, Value]) -> set[int]:
+        matched = set(self._always_subs)
+        for sidx, projected in self._project(attributes).items():
+            ids = self._shards[sidx]._match_ids(projected)
+            if ids:
+                matched |= ids
+        return matched
+
+    def _match_ids_batch(self, batch: Sequence[Mapping[str, Value]]
+                         ) -> list[set[int]]:
+        merged = [set(self._always_subs) for _ in batch]
+        if self.shard_count == 1:
+            # One shard sees everything: skip projection, feed the batch
+            # straight through so shards=1 matches the single bus's cost.
+            shard = self._shards[0]
+            if len(shard):
+                for out, ids in zip(merged, shard._match_ids_batch(batch)):
+                    if ids:
+                        out |= ids
+            return merged
+        per_shard_events: list[list[int]] = [[] for _ in self._shards]
+        per_shard_batch: list[list[Mapping[str, Value]]] = [
+            [] for _ in self._shards]
+        for index, attributes in enumerate(batch):
+            for sidx, projected in self._project(attributes).items():
+                per_shard_events[sidx].append(index)
+                per_shard_batch[sidx].append(projected)
+        for sidx, shard_batch in enumerate(per_shard_batch):
+            if not shard_batch:
+                continue
+            shard_results = self._shards[sidx]._match_ids_batch(shard_batch)
+            for index, ids in zip(per_shard_events[sidx], shard_results):
+                if ids:
+                    merged[index] |= ids
+        return merged
+
+
+class ShardedEventBus(EventBus):
+    """An :class:`EventBus` whose subscription table is sharded.
+
+    Only the match phase of :meth:`~repro.core.bus.EventBus.publish_batch`
+    differs from the single bus — it fans out through the composite
+    engine and merges per-event id sets.  Everything observable
+    (deliveries, ordering, :class:`~repro.core.bus.BusStats`, quenching,
+    membership) runs through the base class's shared dispatch phase, which
+    the shard differential suite pins event-for-event against a
+    single-bus oracle.
+    """
+
+    def __init__(self, scheduler: Scheduler,
+                 shard_count: int = DEFAULT_SHARDS,
+                 engine: str | EngineFactory = "forwarding",
+                 *, name: str = "event-bus") -> None:
+        super().__init__(scheduler, ShardedMatcher(shard_count, engine),
+                         name=name)
+
+    @property
+    def sharded(self) -> ShardedMatcher:
+        return self.engine  # type: ignore[return-value]
+
+    @property
+    def shard_count(self) -> int:
+        return self.sharded.shard_count
+
+    def shard_loads(self) -> list[int]:
+        """Subscription fragments per shard (observability/balance)."""
+        return self.sharded.shard_loads()
+
+    def __repr__(self) -> str:
+        return (f"<ShardedEventBus {self.name} shards={self.shard_count} "
+                f"members={len(self._proxies)} subs={len(self.engine)}>")

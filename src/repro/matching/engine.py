@@ -130,10 +130,22 @@ class MatchingEngine(ABC):
         attribute values, index lookups, interpreter overhead — across the
         whole batch.
         """
-        self.events_matched += len(batch)
         subscriptions = self._subscriptions
-        return [[subscriptions[sub_id] for sub_id in sorted(matched)]
-                for matched in self._match_ids_batch(batch)]
+        return [[subscriptions[sub_id] for sub_id in matched]
+                for matched in self.match_batch_ids(batch)]
+
+    def match_batch_ids(self, batch: Sequence[Mapping[str, Value]]
+                        ) -> list[list[int]]:
+        """Sorted subscription-id lists per event — the id-level batch API.
+
+        The bus's dispatch phase routes on subscription ids alone, so this
+        is the entry point :meth:`EventBus.publish_batch` uses: it skips
+        materialising :class:`Subscription` objects, and a sharded engine
+        (:mod:`repro.core.sharding`) merges its per-shard id sets here
+        before any dispatch state is touched.
+        """
+        self.events_matched += len(batch)
+        return [sorted(matched) for matched in self._match_ids_batch(batch)]
 
     # -- engine hooks ---------------------------------------------------
 

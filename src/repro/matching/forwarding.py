@@ -96,6 +96,19 @@ class _AttrIndex:
 _ORDER_OPS = frozenset({Op.LT, Op.LE, Op.GT, Op.GE})
 _STRING_OPS = frozenset({Op.PREFIX, Op.SUFFIX, Op.CONTAINS})
 
+
+def name_class(filt) -> frozenset[str]:
+    """The attribute-name class of a filter: the names it constrains.
+
+    A filter can only match an event that carries *every* name in its
+    class, so the class is the unit this engine groups multi-constraint
+    filters by on the batch path — and the routing key the sharded bus
+    (:mod:`repro.core.sharding`) partitions subscription tables with.
+    Single-name and empty filters produce one- and zero-element classes
+    through the same function, so they hash consistently everywhere.
+    """
+    return frozenset(constraint.name for constraint in filt)
+
 #: Cap on the batch path's satisfied-value memo.  High-cardinality
 #: attribute streams (timestamps, counters) would otherwise grow the dict
 #: for the process lifetime; wholesale reset on overflow keeps the common
@@ -161,7 +174,7 @@ class ForwardingMatcher(MatchingEngine):
                 self._fid_name_needs.append(None)
             else:
                 name_needs = Counter(c.name for c in filt)
-                key = frozenset(name_needs)
+                key = name_class(filt)
                 cid = self._classes.get(key)
                 if cid is None:
                     cid = len(self._class_width)

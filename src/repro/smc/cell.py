@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.core.bootstrap import ProxyBootstrap
 from repro.core.bus import EventBus, LocalPublisher
+from repro.core.sharding import ShardedEventBus
 from repro.core.correlate import EventCorrelator
 from repro.core.quench import QuenchController
 from repro.devices.protocols import standard_translators
@@ -44,6 +45,10 @@ class CellConfig:
     #: Matching engine: "forwarding" (the paper's second-generation bus),
     #: "siena" (first generation, translation-costed), "typed", "brute".
     engine: str = "forwarding"
+    #: Matching shards: 1 keeps the classic single bus; > 1 partitions the
+    #: subscription table across that many engines by attribute-name class
+    #: (see repro.core.sharding) — dispatch semantics are identical.
+    shards: int = 1
     enable_quench: bool = False
     #: Reliable-channel tuning for all member links.  The default window
     #: pipelines every hop (see transport.reliability.DEFAULT_WINDOW);
@@ -85,13 +90,27 @@ class SelfManagedCell:
             transport, scheduler, window=config.window,
             rto_initial=config.rto_initial_s, rto_max=config.rto_max_s)
 
-        if engine is None:
-            engine = make_engine(config.engine)
+        if config.shards < 1:
+            raise ConfigurationError(
+                f"CellConfig.shards must be >= 1, got {config.shards}")
+        if config.shards > 1:
+            if engine is not None:
+                raise ConfigurationError(
+                    "a sharded cell builds one engine per shard — configure "
+                    "the engine by name via CellConfig.engine, not an "
+                    "engine instance")
+            self.bus = ShardedEventBus(scheduler, config.shards,
+                                       config.engine,
+                                       name=f"bus.{config.cell_name}")
+            engine = self.bus.engine
+        else:
+            if engine is None:
+                engine = make_engine(config.engine)
+            self.bus = EventBus(scheduler, engine,
+                                name=f"bus.{config.cell_name}")
         self.engine = engine
         self._wire_cost_meter(transport, engine)
 
-        self.bus = EventBus(scheduler, engine,
-                            name=f"bus.{config.cell_name}")
         if isinstance(transport, SimTransport):
             self.bus.meter = transport.host
         self.bootstrap = ProxyBootstrap(self.bus, self.endpoint)

@@ -52,6 +52,11 @@ class PacketEndpoint:
         self._max_retries = max_retries
         self._channels: dict[Address, ReliableChannel] = {}
         self._peer_addresses: dict[ServiceId, Address] = {}
+        # Reverse of _peer_addresses, kept for *every* address a peer has
+        # used since it was last forgotten — a roamed peer owns several
+        # entries at once.  Gives O(1) give-up attribution, and teardown
+        # of a roamed peer's whole channel set derives from it.
+        self._address_peers: dict[Address, ServiceId] = {}
         self._control_handler: ControlHandler | None = None
         self._payload_handler: PayloadHandler | None = None
         self._give_up_handler: Callable[[ServiceId | None, bytes], None] | None = None
@@ -132,9 +137,24 @@ class PacketEndpoint:
         """Record ``peer``'s address without waiting to hear a packet.
 
         Used when another subsystem (e.g. a New Member event) already knows
-        where the peer lives.
+        where the peer lives.  Re-learning a peer at a new address (the
+        peer *roamed*) keeps any channel state at its previous addresses
+        attributed to it, so :meth:`close_channel` tears down the whole
+        set when the member is purged.
         """
+        previous_owner = self._address_peers.get(address)
+        if previous_owner is not None and previous_owner != peer:
+            # The address changed hands (e.g. a NAT rebind).  Channel
+            # state there belongs to the previous peer's dead session:
+            # its queued payloads must not surface at the new occupant,
+            # and the new peer's sequence space is unrelated — so the
+            # channel resets now, and the previous peer's stale forward
+            # mapping goes with it.
+            self.reset_channel_to(address)
+            if self._peer_addresses.get(previous_owner) == address:
+                del self._peer_addresses[previous_owner]
         self._peer_addresses[peer] = address
+        self._address_peers[address] = peer
 
     def channel_for(self, peer: ServiceId) -> ReliableChannel:
         """The reliable channel to ``peer`` (created if absent)."""
@@ -165,16 +185,27 @@ class PacketEndpoint:
                         + getattr(channel.stats, field.name))
         return total
 
-    def close_channel(self, peer: ServiceId) -> int:
-        """Destroy the channel to ``peer``, dropping any queued payloads.
+    def channel_addresses(self, peer: ServiceId) -> set[Address]:
+        """Addresses at which ``peer`` currently has live channel state.
 
-        Returns the number of undelivered payloads discarded — the queue a
-        proxy destroys when its member is purged.
+        One entry for a settled peer; several while it has roamed and the
+        superseded channels have not yet been torn down.
         """
-        address = self._peer_addresses.get(peer)
-        if address is None:
-            return 0
-        return self.reset_channel_to(address)
+        return {address for address, owner in self._address_peers.items()
+                if owner == peer and address in self._channels}
+
+    def close_channel(self, peer: ServiceId) -> int:
+        """Destroy every channel to ``peer``, dropping any queued payloads.
+
+        Covers the peer's current address *and* any address it roamed
+        away from, so a purged member's queue at an old address dies with
+        its proxy instead of leaking (and retransmitting) forever.
+        Returns the number of undelivered payloads discarded.
+        """
+        dropped = 0
+        for address in self.channel_addresses(peer):
+            dropped += self.reset_channel_to(address)
+        return dropped
 
     def reset_channel_to(self, address: Address) -> int:
         """Destroy any channel state for ``address``; next send starts
@@ -193,14 +224,20 @@ class PacketEndpoint:
         return dropped
 
     def forget_peer(self, peer: ServiceId) -> None:
-        """Drop the channel and the learned address for ``peer``."""
+        """Drop every channel and every learned address for ``peer``."""
         self.close_channel(peer)
         self._peer_addresses.pop(peer, None)
+        stale = [address for address, owner in self._address_peers.items()
+                 if owner == peer]
+        for address in stale:
+            del self._address_peers[address]
 
     def close(self) -> None:
         for channel in self._channels.values():
             channel.close()
         self._channels.clear()
+        self._peer_addresses.clear()
+        self._address_peers.clear()
         self.transport.close()
 
     # -- internals -----------------------------------------------------------
@@ -228,9 +265,11 @@ class PacketEndpoint:
     def _on_give_up(self, address: Address, payload: bytes) -> None:
         if self._give_up_handler is None:
             return
-        peer_id = next((pid for pid, addr in self._peer_addresses.items()
-                        if addr == address), None)
-        self._give_up_handler(peer_id, payload)
+        # The reverse map remembers roamed-away addresses too, so a
+        # payload abandoned on a superseded channel is still attributed
+        # to its peer (the old linear scan over current addresses missed
+        # those, and cost O(peers) per abandoned payload).
+        self._give_up_handler(self._address_peers.get(address), payload)
 
     def _on_datagram(self, src: Address, datagram: bytes) -> None:
         try:
@@ -240,7 +279,7 @@ class PacketEndpoint:
             return
         if packet.sender == self.service_id:
             return          # broadcast echo of our own traffic
-        self._peer_addresses[packet.sender] = src
+        self.learn_peer(packet.sender, src)
         if packet.type in _CONTROL_TYPES:
             if self._control_handler is not None:
                 self._control_handler(packet, src)

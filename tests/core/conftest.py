@@ -11,21 +11,29 @@ from repro.core.bootstrap import ProxyBootstrap
 from repro.core.bus import EventBus
 from repro.core.client import BusClient
 from repro.core.events import NEW_MEMBER_TYPE, PURGE_MEMBER_TYPE
+from repro.core.sharding import ShardedEventBus
 from repro.matching.engine import make_engine
 from repro.transport.endpoint import PacketEndpoint
 
 
 class CoreKit:
-    """A bus core on node "core" plus helpers to admit/purge members."""
+    """A bus core on node "core" plus helpers to admit/purge members.
 
-    def __init__(self, sim, hub, window=None):
+    ``shards > 1`` builds the core around a :class:`ShardedEventBus`, so
+    any kit-based suite can be re-run against the partitioned bus.
+    """
+
+    def __init__(self, sim, hub, window=None, shards=1):
         self.sim = sim
         self.hub = hub
         endpoint_kwargs = {} if window is None else {"window": window}
         self.window = window
         self.core_endpoint = PacketEndpoint(hub.create("core"), sim,
                                             **endpoint_kwargs)
-        self.bus = EventBus(sim, make_engine("forwarding"))
+        if shards > 1:
+            self.bus = ShardedEventBus(sim, shards, "forwarding")
+        else:
+            self.bus = EventBus(sim, make_engine("forwarding"))
         self.bootstrap = ProxyBootstrap(self.bus, self.core_endpoint)
         self.discovery = self.bus.local_publisher("manual-discovery")
 

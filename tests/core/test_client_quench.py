@@ -139,6 +139,48 @@ class TestQuench:
         sim.run_until_idle()
         assert states == [True, False]
 
+    def test_withdraw_wakes_quenched_publisher(self, kit, sim):
+        # Regression: withdraw_advertisement used to drop the member from
+        # the quenched set without ever sending the wake, leaving the
+        # publisher muted forever with currently_quenched misreporting.
+        controller, publisher = self.make_quenched_setup(kit, sim)
+        assert publisher.quenched
+        wakes = controller.stats.wake_messages_sent
+        controller.withdraw_advertisement(publisher.service_id)
+        sim.run_until_idle()
+        assert not publisher.quenched            # wake advisory delivered
+        assert controller.stats.wake_messages_sent == wakes + 1
+        assert controller.stats.currently_quenched == 0
+        # The publisher can actually publish again.
+        assert publisher.publish("bench.data", {"v": 1}) is not None
+
+    def test_readvertise_after_withdraw_requenches_cleanly(self, kit, sim):
+        # The wake on withdrawal resets the handshake, so a fresh
+        # advertisement with no interested subscribers re-quenches from a
+        # consistent state instead of silently staying muted.
+        controller, publisher = self.make_quenched_setup(kit, sim)
+        controller.withdraw_advertisement(publisher.service_id)
+        sim.run_until_idle()
+        assert not publisher.quenched
+        publisher.advertise(Filter.where("bench.data"))
+        sim.run_until_idle()
+        assert publisher.quenched
+        assert controller.stats.currently_quenched == 1
+
+    def test_withdraw_unquenched_member_sends_nothing(self, kit, sim):
+        controller = QuenchController(kit.bus)
+        publisher = kit.client("pub")
+        kit.bus.subscribe_local(Filter.where("bench.data"), lambda e: None)
+        publisher.advertise(Filter.where("bench.data"))
+        sim.run_until_idle()
+        assert not publisher.quenched
+        sent = (controller.stats.wake_messages_sent,
+                controller.stats.quench_messages_sent)
+        controller.withdraw_advertisement(publisher.service_id)
+        sim.run_until_idle()
+        assert (controller.stats.wake_messages_sent,
+                controller.stats.quench_messages_sent) == sent
+
     def test_purged_member_advertisement_withdrawn(self, kit, sim):
         controller = QuenchController(kit.bus)
         publisher = kit.client("pub")

@@ -15,7 +15,9 @@ from repro.devices import (
     VitalSignsGenerator,
 )
 from repro.devices.waveforms import tachycardia
+from repro.ids import service_id_from_name
 from repro.matching.filters import Filter
+from repro.transport.packets import Packet, PacketType
 from repro.sim.hosts import PDA_PROFILE, SENSOR_PROFILE, SimHost
 from repro.sim.kernel import Simulator
 from repro.sim.mobility import WalkAway
@@ -120,6 +122,56 @@ class TestBodyAreaScenario:
         assert not cell.bus.is_member(member)
         assert proxy.destroyed
         assert proxy.stats.dropped_on_destroy >= 2
+
+    def test_roaming_nurse_purge_drops_queues_at_every_address(self, ban):
+        """Regression for the roaming-channel leak, driven by mobility.
+
+        The nurse's pad walks out of Bluetooth range (WalkAway), then its
+        traffic briefly re-appears from a corridor relay address with the
+        same service id — the cell relearns the address, leaving channel
+        state at *both* addresses.  When the purge finally fires, the
+        proxy's close_channel must drop the queued events at the old
+        address and the relay-side channel too; before the fix only the
+        latest address was torn down and the old queue retransmitted
+        forever.
+        """
+        sim, network, node = ban
+        cell = build_cell(sim, network, purge_after=15.0)
+        display = NurseDisplay(
+            node("nurse", position=WalkAway(t_leave=20.0, t_return=90.0,
+                                            distance=100.0, walk_s=2.0)),
+            sim, "nurse")
+        # An in-range relay node the roamed traffic will arrive from.
+        relay = node("corridor").transport
+        cell.start()
+        display.start()
+        sim.run(19.0)
+        member = display.endpoint.service_id
+        assert cell.bus.is_member(member)
+        proxy = cell.bus.proxy_of(member)
+
+        sim.run(25.0)                       # nurse is now out of range
+        for index in range(3):              # events queue at "nurse"
+            cell.publisher("policy").publish(
+                "smc.cmd.notify", {"target": "nurse", "msg": f"m{index}"})
+        sim.run(26.0)
+        # The pad's traffic surfaces from the corridor with the same id.
+        roamed = Packet(type=PacketType.DATA,
+                        sender=service_id_from_name("nurse"), seq=1,
+                        payload=b"roamed")
+        relay.send("pda", roamed.encode())
+        sim.run(27.0)
+        endpoint = cell.endpoint
+        assert endpoint.address_of(member) == "corridor"
+        assert endpoint.channel_addresses(member) == {"nurse", "corridor"}
+
+        sim.run(60.0)                       # silence -> purge
+        assert not cell.bus.is_member(member)
+        assert proxy.destroyed
+        assert proxy.stats.dropped_on_destroy >= 3
+        assert endpoint.channel_addresses(member) == set()
+        assert endpoint.existing_channel("nurse") is None
+        assert endpoint.existing_channel("corridor") is None
 
     def test_rejoin_after_battery_swap(self, ban):
         sim, network, node = ban

@@ -86,12 +86,15 @@ def assert_per_sender_fifo(inbox):
         last[event.sender] = event.seqno
 
 
-@pytest.mark.parametrize("seed", [7, 2026])
-def test_soak_churn_exactly_once_fifo_and_counters(seed):
+@pytest.mark.parametrize("seed,shards", [
+    (7, 1), (2026, 1),          # the classic single bus
+    (7, 2), (2026, 8),          # sharded cores: semantics must not move
+])
+def test_soak_churn_exactly_once_fifo_and_counters(seed, shards):
     rng = random.Random(seed)
     sim = Simulator()
     hub = InMemoryHub(sim)
-    kit = CoreKit(sim, hub)
+    kit = CoreKit(sim, hub, shards=shards)
 
     publishers = [kit.client(f"pub-{i}") for i in range(PUBLISHERS)]
     pub_member = {p.service_id: True for p in publishers}

@@ -174,6 +174,105 @@ class TestChannels:
         assert got_c == [b"to-c"]
 
 
+class TestRoamingPeers:
+    """A peer that re-appears at a new address must not leak channel
+    state at its old one (regression: close_channel/forget_peer used to
+    tear down only the latest address)."""
+
+    def _stranded(self, sim, hub, endpoints, payloads=3):
+        """A core with ``payloads`` events queued to peer "dev", whose
+        acks never arrive; returns (core, dev service id)."""
+        core, dev = endpoints("core"), endpoints("dev")
+        dev.set_payload_handler(lambda peer, data: None)
+        hub.create("dev-roamed")                  # the peer's new home
+        hub.drop_filter = lambda src, dest, data: src != "core"
+        core.learn_peer(dev.service_id, "dev")
+        for index in range(payloads):
+            core.send_reliable("dev", bytes([index]))
+        return core, dev.service_id
+
+    def test_close_channel_drops_roamed_and_current_queues(
+            self, sim, hub, endpoints):
+        core, dev_id = self._stranded(sim, hub, endpoints)
+        core.learn_peer(dev_id, "dev-roamed")     # peer roams
+        core.send_reliable("dev-roamed", b"x")
+        core.send_reliable("dev-roamed", b"y")
+        assert core.channel_addresses(dev_id) == {"dev", "dev-roamed"}
+        assert core.close_channel(dev_id) == 5    # 3 stranded + 2 new
+        assert core.channel_addresses(dev_id) == set()
+        assert core.existing_channel("dev") is None
+        assert core.existing_channel("dev-roamed") is None
+
+    def test_roam_learned_from_packets_not_just_learn_peer(
+            self, sim, hub, endpoints):
+        core, dev = endpoints("core"), endpoints("dev")
+        dev.set_payload_handler(lambda peer, data: None)
+        core.set_payload_handler(lambda peer, data: None)
+        dev.send_reliable("core", b"hello")       # channel at "dev"
+        sim.run_until_idle()
+        # The same service id now speaks from a new source address.
+        roamed = hub.create("dev-roamed")
+        packet = Packet(type=PacketType.DATA,
+                        sender=service_id_from_name("dev"), seq=1,
+                        payload=b"from-new-home")
+        roamed.send("core", packet.encode())
+        sim.run_until_idle()
+        assert core.address_of(service_id_from_name("dev")) == "dev-roamed"
+        assert core.channel_addresses(service_id_from_name("dev")) \
+            == {"dev", "dev-roamed"}
+        core.close_channel(service_id_from_name("dev"))
+        assert core.existing_channel("dev") is None
+        assert core.existing_channel("dev-roamed") is None
+
+    def test_give_up_on_roamed_away_address_still_names_the_peer(
+            self, sim, hub, endpoints):
+        endpoints("dev")
+        hub.create("dev-roamed")
+        abandoned = []
+        core = endpoints("core2", max_retries=2)
+        core.set_give_up_handler(lambda peer, data: abandoned.append(peer))
+        hub.drop_filter = lambda src, dest, data: False
+        core.learn_peer(service_id_from_name("dev"), "dev")
+        core.send_reliable("dev", b"doomed")
+        core.learn_peer(service_id_from_name("dev"), "dev-roamed")  # roam
+        sim.run(30.0)
+        # Old behaviour scanned only current addresses and reported None.
+        assert abandoned == [service_id_from_name("dev")]
+
+    def test_forget_peer_clears_all_roamed_state(self, sim, hub, endpoints):
+        core, dev_id = self._stranded(sim, hub, endpoints)
+        core.learn_peer(dev_id, "dev-roamed")
+        core.send_reliable("dev-roamed", b"x")
+        core.forget_peer(dev_id)
+        assert not core.knows_peer(dev_id)
+        assert core.channel_addresses(dev_id) == set()
+        assert core.existing_channel("dev") is None
+        assert core.existing_channel("dev-roamed") is None
+        # A later give-up-style lookup finds nothing stale.
+        assert core._address_peers == {}
+
+    def test_address_handover_resets_old_peers_channel(
+            self, sim, hub, endpoints):
+        # When an address changes hands, the previous peer's session
+        # there is dead: its queued payloads must not surface at the new
+        # occupant, and the new peer starts from a fresh channel.
+        core = endpoints("core")
+        endpoints("dev")
+        hub.create("shared-addr")
+        hub.drop_filter = lambda src, dest, data: False
+        old_peer = service_id_from_name("dev")
+        new_peer = service_id_from_name("other")
+        core.learn_peer(old_peer, "shared-addr")
+        core.send_reliable("shared-addr", b"old-session")
+        # The address changes hands: a different peer now lives there.
+        core.learn_peer(new_peer, "shared-addr")
+        assert core.existing_channel("shared-addr") is None
+        assert core.close_channel(old_peer) == 0    # nothing left to leak
+        core.send_reliable("shared-addr", b"new-session")
+        assert core.channel_addresses(new_peer) == {"shared-addr"}
+        assert core.close_channel(new_peer) == 1    # only its own payload
+
+
 class TestChannelObservability:
     def test_channel_stats_aggregates_all_channels(self, sim, endpoints):
         a, b, c = endpoints("a"), endpoints("b"), endpoints("c")
