@@ -1,0 +1,35 @@
+"""The autonomic control plane: MAPE-K feedback over the event service.
+
+The paper's motivating claim is that the event service *supports
+autonomic management*; this package is that management loop, closed over
+the service's own mechanisms — RTT-adaptive retransmission timeouts,
+loss/quench-adaptive batch flush sizing, and live shard rebalancing of
+hot name classes.  See :mod:`repro.autonomic.manager` for the loop,
+:mod:`repro.autonomic.controllers` for the three controllers and
+:mod:`repro.autonomic.telemetry` for the sensor layer.
+"""
+
+from repro.autonomic.controllers import (
+    Actuation,
+    FlushController,
+    RttController,
+    ShardRebalancer,
+)
+from repro.autonomic.manager import (
+    AutonomicConfig,
+    AutonomicManager,
+    build_bus_manager,
+)
+from repro.autonomic.telemetry import MetricRegistry, RollingWindow
+
+__all__ = [
+    "Actuation",
+    "AutonomicConfig",
+    "AutonomicManager",
+    "FlushController",
+    "MetricRegistry",
+    "RollingWindow",
+    "RttController",
+    "ShardRebalancer",
+    "build_bus_manager",
+]

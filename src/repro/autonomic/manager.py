@@ -1,0 +1,211 @@
+"""The MAPE-K loop: one manager ticking monitor→analyze→plan→execute.
+
+The paper positions the event service as the substrate *for autonomic
+management* of a ubiquitous e-health cell; this module is the management
+side using that substrate's own mechanisms as actuators.  An
+:class:`AutonomicManager` owns the knowledge base (a
+:class:`~repro.autonomic.telemetry.MetricRegistry` of sensors) and a set
+of controllers (:mod:`repro.autonomic.controllers`), and ticks them on
+the cell's scheduler:
+
+* **monitor** — every sensor is sampled into its rolling window;
+* **analyze / plan / execute** — each enabled controller inspects its
+  targets (and, if it wants, the registry) and actuates;
+* **knowledge** — every actuation is appended to the bounded audit log,
+  so operators (and tests) can reconstruct exactly what the cell did to
+  itself and why.
+
+The manager can tick on a periodic timer (:meth:`start` — what a cell
+does) or be ticked manually (what the deterministic soak tests do, so a
+`run_until_idle` simulation is never kept alive by a control timer).
+
+:func:`build_bus_manager` assembles the standard cell-side plane — RTT
+control over the endpoint's channels, flush control over the member
+proxies, shard rebalancing when the bus is sharded — and is what
+:class:`repro.smc.cell.SelfManagedCell` instantiates when
+``CellConfig.autonomic`` is set.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.autonomic.controllers import (
+    Actuation,
+    Controller,
+    FlushController,
+    RttController,
+    ShardRebalancer,
+)
+from repro.autonomic.telemetry import (
+    MetricRegistry,
+    register_bus_sensors,
+    register_quench_sensors,
+    register_shard_sensors,
+    register_transport_sensors,
+)
+from repro.core import protocol
+from repro.errors import ConfigurationError
+from repro.sim.kernel import PeriodicTimer, Scheduler
+
+if TYPE_CHECKING:                                      # pragma: no cover
+    from repro.core.bus import EventBus
+    from repro.transport.endpoint import PacketEndpoint
+
+
+@dataclass(frozen=True)
+class AutonomicConfig:
+    """Everything configurable about one cell's control plane.
+
+    The per-controller flags exist so an operator can run any subset of
+    the loops; the defaults are meant to be deployment-agnostic — the
+    whole point of closing the loops is that the same config self-tunes
+    on a 3 ms USB cable and a 200 ms home uplink.
+    """
+
+    #: Control period.  Half a second reacts within a few RTTs of even a
+    #: wide-area link without measurably loading the cell.
+    tick_s: float = 0.5
+    #: Per-controller enable flags.
+    rtt: bool = True
+    flush: bool = True
+    rebalance: bool = True
+    #: RTT controller bounds (see controllers.RttController).
+    rtt_min_rto_s: float = 0.002
+    rtt_max_rto_s: float = 60.0
+    #: Flush controller bounds and loss thresholds.
+    flush_min_bytes: int = 1024
+    flush_max_bytes: int = protocol.BATCH_FLUSH_BYTES
+    flush_high_loss: float = 0.05
+    flush_low_loss: float = 0.01
+    flush_min_sent: int = 8
+    #: Rebalancer sensitivity.
+    rebalance_hot_ratio: float = 2.0
+    rebalance_min_fragments: int = 16
+    #: Audit-log bound (oldest actuations are discarded beyond it).
+    audit_limit: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.tick_s <= 0:
+            raise ConfigurationError(f"tick_s must be > 0, got {self.tick_s}")
+
+
+class AutonomicManager:
+    """Ticks a set of controllers over one knowledge base, with audit."""
+
+    def __init__(self, scheduler: Scheduler,
+                 registry: MetricRegistry | None = None,
+                 controllers: Sequence[Controller] = (),
+                 *, config: AutonomicConfig | None = None) -> None:
+        self.scheduler = scheduler
+        self.config = config if config is not None else AutonomicConfig()
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.controllers: list[Controller] = list(controllers)
+        #: Bounded audit trail of every actuation, oldest first.
+        self.audit: deque[Actuation] = deque(maxlen=self.config.audit_limit)
+        self.ticks = 0
+        self._timer: PeriodicTimer | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin ticking periodically on the scheduler."""
+        if self._timer is not None:
+            raise ConfigurationError("autonomic manager already started")
+        self._timer = PeriodicTimer(self.scheduler, self.config.tick_s,
+                                    self.tick, ())
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    @property
+    def started(self) -> bool:
+        return self._timer is not None
+
+    # -- the loop ------------------------------------------------------------
+
+    def tick(self) -> list[Actuation]:
+        """One monitor→analyze→plan→execute round; returns new actuations."""
+        now = self.scheduler.now()
+        self.ticks += 1
+        self.registry.sample(now)                      # monitor
+        fresh: list[Actuation] = []
+        for controller in self.controllers:            # analyze/plan/execute
+            fresh.extend(controller.tick(now, self.registry))
+        self.audit.extend(fresh)                       # knowledge
+        return fresh
+
+    # -- introspection ---------------------------------------------------
+
+    def actuations(self, controller: str | None = None) -> list[Actuation]:
+        """Audit entries, optionally filtered by controller name."""
+        if controller is None:
+            return list(self.audit)
+        return [a for a in self.audit if a.controller == controller]
+
+    def __repr__(self) -> str:
+        names = ",".join(c.name for c in self.controllers)
+        state = "started" if self.started else "stopped"
+        return (f"<AutonomicManager [{names}] ticks={self.ticks} "
+                f"actuations={len(self.audit)} {state}>")
+
+
+def build_bus_manager(scheduler: Scheduler, bus: "EventBus",
+                      endpoint: "PacketEndpoint",
+                      config: AutonomicConfig | None = None
+                      ) -> AutonomicManager:
+    """Assemble the standard control plane for one bus core.
+
+    Sensors cover the bus counters, the endpoint's channels, the shard
+    table (when the bus is sharded) and quench state (when enabled);
+    controllers are instantiated per the config's enable flags, wired to
+    the cell's own actuators:
+
+    * RTT — every live channel of ``endpoint`` (member links);
+    * flush — every member proxy registered on ``bus`` (re-listed each
+      tick, so churn is handled), with quench state as back-pressure;
+    * rebalance — the bus's :class:`~repro.core.sharding.ShardedMatcher`,
+      when it has more than one shard.
+    """
+    from repro.core.sharding import ShardedMatcher   # avoid import cycle
+
+    config = config if config is not None else AutonomicConfig()
+    registry = MetricRegistry()
+    register_bus_sensors(registry, bus)
+    register_transport_sensors(registry, endpoint)
+    if bus.quench is not None:
+        register_quench_sensors(registry, bus.quench)
+
+    controllers: list[Controller] = []
+    if config.rtt:
+        controllers.append(RttController(
+            endpoint.live_channels,
+            min_rto_s=config.rtt_min_rto_s, max_rto_s=config.rtt_max_rto_s))
+    if config.flush:
+        def proxies():
+            return [bus.proxy_of(member) for member in bus.members()]
+
+        def quenched(proxy) -> bool:
+            return (bus.quench is not None
+                    and bus.quench.is_quenched(proxy.member_id))
+
+        controllers.append(FlushController(
+            proxies, quenched=quenched,
+            label=lambda proxy: proxy.member_name,
+            min_bytes=config.flush_min_bytes,
+            max_bytes=config.flush_max_bytes,
+            high_loss=config.flush_high_loss,
+            low_loss=config.flush_low_loss,
+            min_sent=config.flush_min_sent))
+    matcher = bus.engine
+    if (config.rebalance and isinstance(matcher, ShardedMatcher)
+            and matcher.shard_count > 1):
+        register_shard_sensors(registry, matcher)
+        controllers.append(ShardRebalancer(
+            matcher, hot_ratio=config.rebalance_hot_ratio,
+            min_fragments=config.rebalance_min_fragments))
+    return AutonomicManager(scheduler, registry, controllers, config=config)

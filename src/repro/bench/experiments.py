@@ -346,6 +346,192 @@ def run_window_goodput(windows: tuple[int, ...] = (1, 32),
     return results
 
 
+# -- A7: the autonomic control plane ------------------------------------------
+
+def run_rtt_convergence(rtt_s: float, *, warm_messages: int = 240,
+                        check_messages: int = 60,
+                        payload_size: int = 64, tick_s: float = 0.05) -> dict:
+    """RTO self-tuning on one link, from the channel's default config.
+
+    One :class:`~repro.transport.reliability.ReliableChannel` pair over a
+    fixed-delay in-memory link of ``rtt_s`` round-trip time, with the
+    autonomic RTT controller ticking.  The channel starts at its stock
+    RTO (50 ms) — an order of magnitude too high for the paper's USB
+    cable and far too *low* for a wide-area uplink, where every packet
+    would retransmit before its ack returned and Karn's rule would starve
+    the estimator (the controller's blind backoff breaks that deadlock).
+    After a warm phase, a check phase counts spurious retransmissions at
+    the converged RTO.  Fully deterministic (virtual time, no loss).
+
+    The *optimal static RTO* for a fixed-delay link is the link RTT
+    itself — the smallest value that never fires a spurious timeout — so
+    ``rto_over_optimal`` is the benchmark's figure of merit.
+    """
+    from repro.autonomic import AutonomicConfig, AutonomicManager, RttController
+    from repro.transport.inmem import InMemoryHub
+    from repro.transport.packets import Packet
+    from repro.transport.reliability import ReliableChannel
+
+    sim = Simulator()
+    hub = InMemoryHub(sim, delay_s=rtt_s / 2.0)
+    sender_t, receiver_t = hub.create("tx"), hub.create("rx")
+    got: list[bytes] = []
+    # Stock channel configuration — the whole point is that *one* default
+    # works on both links once the loop is closed.
+    sender = ReliableChannel(sender_t, sim, "rx", lambda s, p: None)
+    receiver = ReliableChannel(receiver_t, sim, "tx",
+                               lambda s, p: got.append(p))
+    sender_t.set_receiver(
+        lambda src, data: sender.handle_packet(Packet.decode(data)))
+    receiver_t.set_receiver(
+        lambda src, data: receiver.handle_packet(Packet.decode(data)))
+
+    manager = AutonomicManager(
+        sim, controllers=[RttController(lambda: [sender])],
+        config=AutonomicConfig(tick_s=tick_s))
+    manager.start()
+    default_rto = sender.rto_initial
+
+    def pump(count: int, spacing: float) -> None:
+        start = sim.now()
+        for index in range(count):
+            sim.call_at(start + index * spacing, sender.send,
+                        b"m" * payload_size)
+        deadline = sim.now() + count * spacing + 200.0 * max(rtt_s, 0.05)
+        while len(got) < pump.total and sim.now() < deadline:
+            sim.run(sim.now() + max(rtt_s, 0.01))
+        if len(got) < pump.total:
+            raise SimulationError(
+                f"rtt={rtt_s}: only {len(got)}/{pump.total} delivered")
+
+    pump.total = warm_messages
+    pump(warm_messages, rtt_s / 2.0)
+    converged_rto = sender.rto_initial
+    rtx_before = sender.stats.retransmissions
+    pump.total = warm_messages + check_messages
+    pump(check_messages, rtt_s / 2.0)
+    manager.stop()
+
+    return {
+        "rtt_s": rtt_s,
+        "optimal_rto_s": rtt_s,
+        "default_rto_s": default_rto,
+        "converged_rto_s": converged_rto,
+        "rto_over_optimal": converged_rto / rtt_s,
+        "srtt_s": sender.stats.srtt,
+        "rttvar_s": sender.stats.rttvar,
+        "rtt_samples": sender.stats.rtt_samples,
+        "warmup_retransmissions": rtx_before,
+        "spurious_rtx_after_convergence":
+            sender.stats.retransmissions - rtx_before,
+        "rtt_actuations": len(manager.actuations("rtt")),
+    }
+
+
+def run_rebalance_recovery(sub_count: int = 4000, batches: int = 10,
+                           batch_size: int = 150, shards: int = 8,
+                           seed: int = 7, runs: int = 2) -> dict:
+    """Throughput recovery on a skewed vitals ward, static vs autonomic.
+
+    The adversarial workload for static CRC routing: every alert rule in
+    the ward constrains the same attribute class ``{type, hr, patient}``,
+    so the whole table hashes onto one shard of ``shards`` — and one
+    re-subscription per batch (the churn real cells live with) wholesale-
+    invalidates that shard's satisfied-value memo every round, exactly as
+    if the bus were unsharded.  With the autonomic manager ticking, the
+    rebalancer detects the pin and splits the class by the ``patient``
+    equality bucket, spreading fragments *and their events* across all
+    shards, so each churn invalidation cold-starts ~1/``shards`` of the
+    table.  Wall-clock, best-of-``runs`` per configuration; both runs
+    must produce identical BusStats (the differential suite pins the
+    stronger per-event property).
+    """
+    import random
+    import time as wallclock
+
+    from repro.autonomic import AutonomicConfig, AutonomicManager, ShardRebalancer
+    from repro.core.events import Event
+    from repro.core.sharding import ShardedEventBus
+    from repro.ids import service_id_from_name
+    from repro.matching.filters import Constraint, Filter, Op, Subscription
+
+    def build_subs(count, rng, first_id=1):
+        subs = []
+        for index in range(count):
+            constraints = [
+                Constraint("type", Op.EQ, f"vitals.{rng.choice('abcd')}"),
+                Constraint("hr", rng.choice([Op.GT, Op.LT]),
+                           rng.randint(40, 180)),
+                Constraint("patient", Op.EQ, f"p-{rng.randint(1, 64)}"),
+            ]
+            subs.append(Subscription(first_id + index,
+                                     service_id_from_name("ward"),
+                                     [Filter(constraints)]))
+        return subs
+
+    def run_once(autonomic: bool):
+        rng = random.Random(seed)
+        sim = Simulator()
+        bus = ShardedEventBus(sim, shards)
+        for subscription in build_subs(sub_count, rng):
+            bus.subscribe_local(subscription.filters, lambda event: None)
+        churn = build_subs(batches, rng, first_id=sub_count + 1)
+        sender = service_id_from_name("vitals-pack")
+        stamped = []
+        for seqno in range((batches + 1) * batch_size):
+            attrs = {"hr": rng.randint(40, 180),
+                     "patient": f"p-{rng.randint(1, 64)}"}
+            stamped.append(Event(f"vitals.{rng.choice('abcd')}", attrs,
+                                 sender, seqno + 1, 0.0))
+
+        manager = None
+        if autonomic:
+            manager = AutonomicManager(
+                sim, None,
+                [ShardRebalancer(bus.sharded, hot_ratio=2.0,
+                                 min_fragments=64)],
+                config=AutonomicConfig())
+        bus.publish_batch(stamped[:batch_size])        # warm
+        sim.run_until_idle()
+        if manager is not None:
+            manager.tick()                             # detect + split here
+            sim.run_until_idle()
+
+        start = wallclock.perf_counter()
+        for index in range(1, batches + 1):
+            bus.publish_batch(stamped[index * batch_size:
+                                      (index + 1) * batch_size])
+            sim.run_until_idle()
+            sub_id = bus.subscribe_local(churn[index - 1].filters,
+                                         lambda event: None)
+            bus.unsubscribe_local(sub_id)
+            if manager is not None:
+                manager.tick()
+        elapsed = wallclock.perf_counter() - start
+        stats = bus.stats
+        outcome = (stats.published, stats.matched, stats.unmatched,
+                   stats.delivered_local)
+        audit = list(manager.audit) if manager is not None else []
+        return elapsed, outcome, audit, bus.sharded.shard_loads()
+
+    results: dict = {"sub_count": sub_count, "batches": batches,
+                     "batch_size": batch_size, "shards": shards}
+    events = batches * batch_size
+    for label, autonomic in (("static", False), ("autonomic", True)):
+        best, outcome, audit, loads = min(
+            (run_once(autonomic) for _ in range(runs)), key=lambda r: r[0])
+        results[label] = {
+            "events_per_s": events / best, "elapsed_s": best,
+            "outcome": outcome, "shard_loads": loads,
+            "actuations": [f"{a.action}:{a.detail.get('bucket_name')}"
+                           for a in audit],
+        }
+    assert results["static"]["outcome"] == results["autonomic"]["outcome"]
+    results["speedup"] = (results["autonomic"]["events_per_s"]
+                          / results["static"]["events_per_s"])
+    return results
+
+
 # -- A5: fan-out ---------------------------------------------------------------
 
 def run_fanout(subscriber_counts: tuple[int, ...] = (1, 2, 4, 8),

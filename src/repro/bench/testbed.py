@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.autonomic.manager import AutonomicConfig
 from repro.core.client import BusClient
 from repro.core.events import Event
 from repro.discovery.agent import AgentConfig, DiscoveryAgent
@@ -100,7 +101,9 @@ def build_paper_testbed(engine: str = "forwarding", seed: int = 0, *,
                         enable_quench: bool = False,
                         subscribe_default: bool = True,
                         shards: int = 1,
-                        link_profile: LinkProfile | None = None) -> PaperTestbed:
+                        link_profile: LinkProfile | None = None,
+                        autonomic: AutonomicConfig | None = None
+                        ) -> PaperTestbed:
     """Assemble the PDA+laptop testbed with the chosen matching engine.
 
     ``extra_subscribers`` attaches additional laptop-side subscriber
@@ -113,7 +116,10 @@ def build_paper_testbed(engine: str = "forwarding", seed: int = 0, *,
     measured at 1).  ``link_profile`` swaps the USB cable for another
     link model (e.g. a high-RTT personal-area uplink), keeping hosts and
     bus identical — the window-sweep benchmark uses it to expose
-    round-trip serialisation.
+    round-trip serialisation.  ``autonomic`` attaches the MAPE-K control
+    plane to the cell (RTT, flush and rebalance loops per its flags),
+    ticking with the cell — the autonomic benchmarks drive the paper
+    testbed with it enabled.
     """
     sim = Simulator()
     rng = RngRegistry(seed)
@@ -136,7 +142,7 @@ def build_paper_testbed(engine: str = "forwarding", seed: int = 0, *,
         SimTransport(network, "pda"), sim,
         CellConfig(cell_name="paper-testbed", patient="bench",
                    engine=engine, window=window, shards=shards,
-                   enable_quench=enable_quench,
+                   enable_quench=enable_quench, autonomic=autonomic,
                    # RTO above the PDA's worst-case per-event processing
                    # time: a working link must not trigger spurious
                    # retransmissions that would distort the measurement.

@@ -73,6 +73,11 @@ class BusClient:
         self.on_quench_change: Callable[[bool], None] | None = None
         #: Invoked with raw DEVICE_CMD bytes (hybrid devices).
         self.on_command: CommandCallback | None = None
+        #: Batch flush cap override in bytes; None derives the cap from
+        #: the channel window as before.  This is the actuator the
+        #: autonomic flush controller drives from measured loss and
+        #: quench feedback.
+        self.flush_limit: int | None = None
 
         self._next_seqno = itertools.count(1)
         self._next_sub_id = itertools.count(1)
@@ -133,8 +138,10 @@ class BusClient:
         frames = [protocol.frame(BusOp.PUBLISH, encode_event(event))
                   for event in events]
         # Chunk to the hop's window: one big payload on a stop-and-wait
-        # channel, streaming MTU-sized payloads on a pipelined one.
-        limit = protocol.flush_limit(self.endpoint.window)
+        # channel, streaming MTU-sized payloads on a pipelined one —
+        # unless the autonomic flush controller has overridden the cap.
+        limit = (self.flush_limit if self.flush_limit is not None
+                 else protocol.flush_limit(self.endpoint.window))
         for payload in protocol.chunk_frames(frames, limit):
             self.meter.charge_copy(OUTBOUND_COPIES * len(payload))
             self.endpoint.send_reliable(self.bus_address, payload)

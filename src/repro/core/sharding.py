@@ -33,16 +33,30 @@ class routes to, so the other shards stay warm: the shard-scaling gate in
 shards under steady churn.  The same split is what makes the next step —
 running shards on separate cores or processes — a transport problem
 rather than a semantics problem.
+
+Static CRC routing has one failure mode: a *hot* name class.  A ward
+where every alert rule constrains the same vitals attributes hashes the
+whole table onto one shard, and the other shards idle while that shard
+eats every churn invalidation.  :meth:`ShardedMatcher.split_class` is the
+repair — the actuator the autonomic control plane's shard rebalancer
+(:class:`repro.autonomic.controllers.ShardRebalancer`) drives: it
+re-routes a class live by a *secondary value-bucket key*, spreading the
+class's equality-constrained filters (and, crucially, the events they
+match) across every shard by :func:`value_bucket` of the chosen
+attribute's value.  Correctness is unchanged — a bucket-routed filter can
+only match an event whose bucket value hashes to its shard, and the
+projection routes events by exactly that hash.
 """
 
 from __future__ import annotations
 
 import zlib
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 from repro.matching.engine import MatchingEngine, make_engine
-from repro.matching.filters import Filter, Subscription
+from repro.matching.filters import Filter, Op, Subscription
 from repro.matching.forwarding import name_class
 from repro.sim.hosts import CostMeter
 from repro.sim.kernel import Scheduler
@@ -70,6 +84,74 @@ def shard_index(names: Iterable[str], shard_count: int) -> int:
         return 0
     key = "\x1f".join(sorted(names)).encode("utf-8")
     return zlib.crc32(key) % shard_count
+
+
+def value_bucket(value: Value, shard_count: int) -> int:
+    """Deterministic shard bucket for one attribute *value*.
+
+    The secondary routing key of a split class.  Like :func:`shard_index`
+    it is CRC-32-based so placement is identical across processes and
+    replays.  The one invariant that matters for correctness: two values
+    that can satisfy the same equality constraint must bucket together.
+    Within the numeric kind ``1 == 1.0``, so integral floats canonicalise
+    to their integer text; booleans are their own kind and never
+    EQ-compare equal to numbers, strings or bytes, so cross-kind key
+    collisions merely co-locate buckets (harmless).
+    """
+    if isinstance(value, bool):
+        data = b"b1" if value else b"b0"
+    elif isinstance(value, (int, float)):
+        if isinstance(value, float) and not value.is_integer():
+            data = b"n" + repr(value).encode("ascii")
+        else:
+            data = b"n" + str(int(value)).encode("ascii")
+    elif isinstance(value, str):
+        data = b"s" + value.encode("utf-8")
+    else:
+        data = b"y" + bytes(value)
+    return zlib.crc32(data) % shard_count
+
+
+def _eq_value(filt: Filter, name: str) -> Value | None:
+    """The operand of ``filt``'s equality constraint on ``name``, if any.
+
+    A filter with *two* different EQ operands on the same name can never
+    match; returning the first keeps its routing deterministic and its
+    (empty) match set correct on whichever shard it lands.
+    """
+    for constraint in filt:
+        if constraint.name == name and constraint.op == Op.EQ:
+            return constraint.value
+    return None
+
+
+@dataclass
+class ClassSplit:
+    """Live routing override for one hot name class.
+
+    Filters of the class carrying an EQ constraint on ``bucket_name``
+    route to :func:`value_bucket` of that operand; filters without one
+    (range or string-shape constraints on the bucket attribute) fall back
+    to the class's static CRC shard.  ``fragments`` counts bucket-routed
+    fragments per shard so the projection skips shards holding none.
+    """
+
+    names: frozenset[str]
+    bucket_name: str
+    fragments: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ClassStat:
+    """Load/shape summary of one name class (rebalancer input)."""
+
+    names: frozenset[str]
+    fragments: int            # registered filter fragments in the class
+    shard: int                # static CRC home shard
+    split: bool               # already re-routed by a value bucket?
+    #: name -> distinct EQ operands across the class's fragments; the
+    #: rebalancer picks the most diverse name as the bucket key.
+    eq_diversity: dict[str, int]
 
 
 class ShardedMatcher(MatchingEngine):
@@ -106,9 +188,21 @@ class ShardedMatcher(MatchingEngine):
         # sub id -> shard indexes holding one of its filter fragments.
         self._routes: dict[int, tuple[int, ...]] = {}
         # attribute name -> {shard index: filters constraining it there}.
+        # Covers statically-routed fragments only; bucket-routed fragments
+        # are projected through their ClassSplit instead, so a split class
+        # does not drag every event onto every bucket shard.
         self._name_shards: dict[str, dict[int, int]] = {}
         # sub ids with an empty (match-everything) filter.
         self._always_subs: set[int] = set()
+        # Live secondary-key routing overrides: class -> ClassSplit.
+        self._splits: dict[frozenset[str], ClassSplit] = {}
+        # Per-class bookkeeping feeding ClassStat / the rebalancer.
+        self._class_fragments: dict[frozenset[str], int] = {}
+        self._class_members: dict[frozenset[str], dict[int, int]] = {}
+        self._class_eq_values: dict[
+            frozenset[str], dict[str, dict[Value, int]]] = {}
+        #: Events projected onto each shard (match work), for load sensing.
+        self.shard_event_counts: list[int] = [0] * shard_count
 
     def set_meter(self, meter: CostMeter) -> None:
         """Forward cost accounting to every shard that supports it.
@@ -134,35 +228,90 @@ class ShardedMatcher(MatchingEngine):
         """Registered subscription fragments per shard."""
         return [len(shard) for shard in self._shards]
 
+    def shard_events(self) -> list[int]:
+        """Events projected onto each shard so far (match work done)."""
+        return list(self.shard_event_counts)
+
     def shard_of_filter(self, filt: Filter) -> int:
-        """The shard a (non-empty) filter routes to."""
-        return shard_index(name_class(filt), self.shard_count)
+        """The shard a (non-empty) filter routes to (split-aware)."""
+        return self._route_filter(name_class(filt), filt)[0]
+
+    def splits(self) -> tuple[ClassSplit, ...]:
+        """Active class splits, in deterministic (sorted-names) order."""
+        return tuple(self._splits[key]
+                     for key in sorted(self._splits, key=sorted))
+
+    def class_stats(self) -> list[ClassStat]:
+        """Per-class load summary, sorted by descending fragment count.
+
+        This is the *analyze* input of the autonomic shard rebalancer: it
+        names each class's static home shard, how many fragments it holds
+        and how many distinct EQ operands each attribute offers as a
+        candidate secondary bucket key.
+        """
+        stats = []
+        for names, fragments in self._class_fragments.items():
+            eq = self._class_eq_values.get(names, {})
+            stats.append(ClassStat(
+                names=names, fragments=fragments,
+                shard=shard_index(names, self.shard_count),
+                split=names in self._splits,
+                eq_diversity={name: len(values)
+                              for name, values in eq.items() if values}))
+        stats.sort(key=lambda s: (-s.fragments, sorted(s.names)))
+        return stats
 
     # -- registration ----------------------------------------------------
 
-    def _group_filters(self, subscription: Subscription
-                       ) -> tuple[dict[int, list[Filter]], int]:
+    def _route_filter(self, names: frozenset[str],
+                      filt: Filter) -> tuple[int, bool]:
+        """Route one fragment: (shard index, bucket-routed?).
+
+        The single source of truth for the split-routing rule —
+        ``_group_filters`` must route identically at index and deindex
+        time, so the rule lives in exactly one place.
+        """
+        split = self._splits.get(names)
+        if split is not None:
+            value = _eq_value(filt, split.bucket_name)
+            if value is not None:
+                return value_bucket(value, self.shard_count), True
+        return shard_index(names, self.shard_count), False
+
+    def _group_filters(self, subscription: Subscription) -> tuple[
+            dict[int, list[Filter]],
+            list[tuple[Filter, frozenset[str], int, bool]], int]:
+        """Route a subscription's filters: per-shard groups, the per-
+        fragment routing decisions (for bookkeeping), and the count of
+        empty (match-everything) filters.
+
+        Must be deterministic in the current split table — ``_deindex``
+        recomputes it to reverse the bookkeeping ``_index`` did, and
+        :meth:`split_class` re-registers every affected subscription
+        atomically so the table never changes between the two.
+        """
         per_shard: dict[int, list[Filter]] = {}
+        routed: list[tuple[Filter, frozenset[str], int, bool]] = []
         always = 0
         for filt in subscription.filters:
             names = name_class(filt)
             if not names:
                 always += 1
                 continue
-            per_shard.setdefault(
-                shard_index(names, self.shard_count), []).append(filt)
-        return per_shard, always
+            sidx, bucketed = self._route_filter(names, filt)
+            per_shard.setdefault(sidx, []).append(filt)
+            routed.append((filt, names, sidx, bucketed))
+        return per_shard, routed, always
 
     def _index(self, subscription: Subscription) -> None:
-        per_shard, always = self._group_filters(subscription)
+        per_shard, routed, always = self._group_filters(subscription)
         for sidx, filters in per_shard.items():
             self._shards[sidx].subscribe(
                 Subscription(subscription.sub_id, subscription.subscriber,
                              filters))
-            for filt in filters:
-                for name in name_class(filt):
-                    refs = self._name_shards.setdefault(name, {})
-                    refs[sidx] = refs.get(sidx, 0) + 1
+        for filt, names, sidx, bucketed in routed:
+            self._track_fragment(subscription.sub_id, filt, names, sidx,
+                                 bucketed, +1)
         if always:
             self._always_subs.add(subscription.sub_id)
         self._routes[subscription.sub_id] = tuple(per_shard)
@@ -170,18 +319,96 @@ class ShardedMatcher(MatchingEngine):
     def _deindex(self, subscription: Subscription) -> None:
         for sidx in self._routes.pop(subscription.sub_id, ()):
             self._shards[sidx].unsubscribe(subscription.sub_id)
-        per_shard, always = self._group_filters(subscription)
-        for sidx, filters in per_shard.items():
-            for filt in filters:
-                for name in name_class(filt):
-                    refs = self._name_shards[name]
-                    refs[sidx] -= 1
-                    if not refs[sidx]:
-                        del refs[sidx]
-                        if not refs:
-                            del self._name_shards[name]
+        _per_shard, routed, always = self._group_filters(subscription)
+        for filt, names, sidx, bucketed in routed:
+            self._track_fragment(subscription.sub_id, filt, names, sidx,
+                                 bucketed, -1)
         if always:
             self._always_subs.discard(subscription.sub_id)
+
+    def _track_fragment(self, sub_id: int, filt: Filter,
+                        names: frozenset[str], sidx: int, bucketed: bool,
+                        delta: int) -> None:
+        """Maintain routing refcounts and class statistics for one
+        fragment (``delta`` +1 on index, -1 on deindex)."""
+        if bucketed:
+            fragments = self._splits[names].fragments
+            count = fragments.get(sidx, 0) + delta
+            if count:
+                fragments[sidx] = count
+            else:
+                fragments.pop(sidx, None)
+        else:
+            for name in names:
+                refs = self._name_shards.setdefault(name, {})
+                refs[sidx] = refs.get(sidx, 0) + delta
+                if not refs[sidx]:
+                    del refs[sidx]
+                    if not refs:
+                        del self._name_shards[name]
+        count = self._class_fragments.get(names, 0) + delta
+        if count:
+            self._class_fragments[names] = count
+        else:
+            self._class_fragments.pop(names, None)
+        members = self._class_members.setdefault(names, {})
+        count = members.get(sub_id, 0) + delta
+        if count:
+            members[sub_id] = count
+        else:
+            members.pop(sub_id, None)
+            if not members:
+                del self._class_members[names]
+        eq = self._class_eq_values.setdefault(names, {})
+        for constraint in filt:
+            if constraint.op != Op.EQ:
+                continue
+            per_name = eq.setdefault(constraint.name, {})
+            count = per_name.get(constraint.value, 0) + delta
+            if count:
+                per_name[constraint.value] = count
+            else:
+                del per_name[constraint.value]
+                if not per_name:
+                    del eq[constraint.name]
+        if not eq:
+            self._class_eq_values.pop(names, None)
+
+    # -- rebalancing -------------------------------------------------------
+
+    def split_class(self, names: Iterable[str], bucket_name: str) -> int:
+        """Re-route a hot name class live by a secondary value-bucket key.
+
+        Every registered filter of the class is re-registered under the
+        new routing (equality-constrained fragments spread to
+        :func:`value_bucket` of their ``bucket_name`` operand, the rest
+        stay on the static shard), and every *future* registration of the
+        class follows the same rule — the split is part of the table's
+        knowledge, not a one-shot shuffle.  Returns the number of
+        fragments now bucket-routed.  No event is matched differently:
+        the projection routes events carrying ``bucket_name`` to the
+        bucket shard their value hashes to, which is exactly where the
+        only filters that could match them live.
+        """
+        key = frozenset(names)
+        if self.shard_count < 2:
+            raise ConfigurationError("cannot split a class on a single shard")
+        if not key:
+            raise ConfigurationError("cannot split the empty class")
+        if bucket_name not in key:
+            raise ConfigurationError(
+                f"bucket name {bucket_name!r} is not in the class {sorted(key)}")
+        if key in self._splits:
+            raise ConfigurationError(
+                f"class {sorted(key)} is already split")
+        affected = [self._subscriptions[sub_id]
+                    for sub_id in sorted(self._class_members.get(key, ()))]
+        for subscription in affected:
+            self._deindex(subscription)
+        self._splits[key] = ClassSplit(names=key, bucket_name=bucket_name)
+        for subscription in affected:
+            self._index(subscription)
+        return sum(self._splits[key].fragments.values())
 
     # -- matching ---------------------------------------------------------
 
@@ -205,11 +432,41 @@ class ShardedMatcher(MatchingEngine):
                 if slice_ is None:
                     projections[sidx] = slice_ = {}
                 slice_[name] = value
+        if self._splits:
+            self._project_splits(attributes, projections)
         return projections
+
+    def _project_splits(self, attributes: Mapping[str, Value],
+                        projections: dict[int, dict[str, Value]]) -> None:
+        """Value-bucket routing of one event for every split class.
+
+        A bucket-routed filter requires an exact EQ match on its class's
+        bucket attribute, so the only shard whose fragments could match
+        this event is the one its own bucket value hashes to — the event
+        is projected there alone, never onto every shard of the split
+        class.  Events missing the bucket attribute cannot satisfy any
+        bucket-routed fragment and are skipped (fallback fragments reach
+        their static shard through ``_name_shards`` as usual).
+        """
+        for split in self._splits.values():
+            if split.bucket_name not in attributes:
+                continue
+            sidx = value_bucket(attributes[split.bucket_name],
+                                self.shard_count)
+            if not split.fragments.get(sidx):
+                continue
+            slice_ = projections.get(sidx)
+            if slice_ is None:
+                projections[sidx] = slice_ = {}
+            for name in split.names:
+                if name in attributes:
+                    slice_[name] = attributes[name]
 
     def _match_ids(self, attributes: Mapping[str, Value]) -> set[int]:
         matched = set(self._always_subs)
+        counts = self.shard_event_counts
         for sidx, projected in self._project(attributes).items():
+            counts[sidx] += 1
             ids = self._shards[sidx]._match_ids(projected)
             if ids:
                 matched |= ids
@@ -223,6 +480,7 @@ class ShardedMatcher(MatchingEngine):
             # straight through so shards=1 matches the single bus's cost.
             shard = self._shards[0]
             if len(shard):
+                self.shard_event_counts[0] += len(batch)
                 for out, ids in zip(merged, shard._match_ids_batch(batch)):
                     if ids:
                         out |= ids
@@ -235,6 +493,7 @@ class ShardedMatcher(MatchingEngine):
                 per_shard_events[sidx].append(index)
                 per_shard_batch[sidx].append(projected)
         for sidx, shard_batch in enumerate(per_shard_batch):
+            self.shard_event_counts[sidx] += len(shard_batch)
             if not shard_batch:
                 continue
             shard_results = self._shards[sidx]._match_ids_batch(shard_batch)
@@ -274,6 +533,11 @@ class ShardedEventBus(EventBus):
     def shard_loads(self) -> list[int]:
         """Subscription fragments per shard (observability/balance)."""
         return self.sharded.shard_loads()
+
+    def split_class(self, names: Iterable[str], bucket_name: str) -> int:
+        """Re-route a hot class by a value bucket; see
+        :meth:`ShardedMatcher.split_class`."""
+        return self.sharded.split_class(names, bucket_name)
 
     def __repr__(self) -> str:
         return (f"<ShardedEventBus {self.name} shards={self.shard_count} "

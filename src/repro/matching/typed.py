@@ -22,13 +22,18 @@ exactly how a type-based API differs from a content-based one.
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping
+from typing import Iterator, Mapping, Sequence
 
 from repro.errors import FilterError
 from repro.ids import ServiceId
 from repro.matching.engine import MatchingEngine
 from repro.matching.filters import TYPE_ATTR, Constraint, Filter, Op, Subscription
 from repro.transport.wire import Value
+
+#: Cap on the batch path's per-type-name memo.  Event streams carry few
+#: distinct types, so the memo normally stays tiny; a hostile stream of
+#: unique type strings resets it wholesale instead of growing forever.
+_TYPE_MEMO_MAX = 4096
 
 
 def split_type(type_name: str) -> list[str]:
@@ -78,10 +83,19 @@ class TypedMatcher(MatchingEngine):
         self._next_fid = 0
         self.type_tests = 0
         self.residual_tests = 0
+        # Batch-path memo: event type name -> flattened (sub id, residual)
+        # entries along its trie path.  Mirrors the forwarding engine's
+        # satisfied-value memo: event streams repeat type names heavily,
+        # so one trie walk serves many events; any registration change
+        # invalidates it wholesale.
+        self._type_memo: dict[str | None, tuple[tuple[int, Filter], ...]] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     # -- registration ----------------------------------------------------
 
     def _index(self, subscription: Subscription) -> None:
+        self._type_memo.clear()
         for filt in subscription.filters:
             type_name, residual = self._split_filter(filt)
             fid = self._next_fid
@@ -90,6 +104,7 @@ class TypedMatcher(MatchingEngine):
             node.entries.append((fid, subscription.sub_id, residual))
 
     def _deindex(self, subscription: Subscription) -> None:
+        self._type_memo.clear()
         for node in self._walk(self._root):
             node.entries = [e for e in node.entries
                             if e[1] != subscription.sub_id]
@@ -152,3 +167,57 @@ class TypedMatcher(MatchingEngine):
                 if residual.matches(attributes):
                     matched.add(sub_id)
         return matched
+
+    def _match_ids_batch(self, batch: Sequence[Mapping[str, Value]]
+                         ) -> list[set[int]]:
+        """Trie-walk batch path with a per-type-name node memo.
+
+        The type test of :meth:`_match_ids` — split the dotted name, walk
+        the trie, gather entries root-to-leaf — is a pure function of the
+        type string and the registration state, so its result is memoised
+        per distinct type name across the batch (and across batches,
+        until a registration change clears it).  Each event then pays
+        only its residual content tests, which genuinely depend on the
+        event's attributes.  Entry order matches the per-event walk, so
+        match sets are identical — the engine differential suite pins it.
+        """
+        memo = self._type_memo
+        results: list[set[int]] = []
+        for attributes in batch:
+            event_type = attributes.get(TYPE_ATTR)
+            key = event_type if isinstance(event_type, str) else None
+            entries = memo.get(key)
+            if entries is None:
+                self.memo_misses += 1
+                entries = self._path_entries(key)
+                if len(memo) >= _TYPE_MEMO_MAX:
+                    memo.clear()
+                memo[key] = entries
+            else:
+                self.memo_hits += 1
+            matched: set[int] = set()
+            for sub_id, residual in entries:
+                if sub_id in matched:
+                    continue
+                self.residual_tests += 1
+                if residual.matches(attributes):
+                    matched.add(sub_id)
+            results.append(matched)
+        return results
+
+    def _path_entries(self, event_type: str | None
+                      ) -> tuple[tuple[int, Filter], ...]:
+        """Flattened (sub id, residual) entries on one type's trie path,
+        root first — the memoised half of the batch walk."""
+        nodes = [self._root]
+        if event_type is not None:
+            node = self._root
+            for segment in split_type(event_type):
+                node = node.children.get(segment)
+                if node is None:
+                    break
+                nodes.append(node)
+                self.type_tests += 1
+        return tuple((sub_id, residual)
+                     for node in nodes
+                     for _fid, sub_id, residual in node.entries)

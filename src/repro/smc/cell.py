@@ -15,6 +15,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.autonomic.manager import (
+    AutonomicConfig,
+    AutonomicManager,
+    build_bus_manager,
+)
 from repro.core.bootstrap import ProxyBootstrap
 from repro.core.bus import EventBus, LocalPublisher
 from repro.core.sharding import ShardedEventBus
@@ -50,6 +55,11 @@ class CellConfig:
     #: (see repro.core.sharding) — dispatch semantics are identical.
     shards: int = 1
     enable_quench: bool = False
+    #: The autonomic control plane (MAPE-K feedback: RTT-adaptive RTOs,
+    #: loss/quench-adaptive flush sizing, hot-class shard rebalancing).
+    #: None leaves every mechanism statically tuned, exactly as before;
+    #: an AutonomicConfig closes the loops with that tuning.
+    autonomic: AutonomicConfig | None = None
     #: Reliable-channel tuning for all member links.  The default window
     #: pipelines every hop (see transport.reliability.DEFAULT_WINDOW);
     #: window=1 restores the paper's stop-and-wait measurement behaviour.
@@ -130,6 +140,14 @@ class SelfManagedCell:
         #: Window-based event correlation (composite events for policies).
         self.correlator = EventCorrelator(self.bus, scheduler)
 
+        #: The autonomic control plane, ticking with the cell when
+        #: configured (CellConfig.autonomic).
+        self.autonomic: AutonomicManager | None = None
+        if config.autonomic is not None:
+            self.autonomic = build_bus_manager(scheduler, self.bus,
+                                               self.endpoint,
+                                               config.autonomic)
+
         #: Cell-level journal fed by the built-in ``log`` action handler.
         self.log: list[tuple[float, str, dict]] = []
         self.policy.executor.register_handler("log", self._log_handler)
@@ -149,11 +167,15 @@ class SelfManagedCell:
             raise ConfigurationError("cell already started")
         self._started = True
         self.discovery.start()
+        if self.autonomic is not None:
+            self.autonomic.start()
 
     def stop(self) -> None:
         if self._started:
             self._started = False
             self.discovery.stop()
+            if self.autonomic is not None:
+                self.autonomic.stop()
 
     @property
     def started(self) -> bool:

@@ -176,14 +176,32 @@ class PacketEndpoint:
         return channel
 
     def channel_stats(self) -> ChannelStats:
-        """Aggregate reliability counters over every live channel."""
+        """Aggregate reliability counters over every live channel.
+
+        Counters sum; the RTT estimator fields (``srtt``/``rttvar``) are
+        per-path quantities, so the aggregate carries the *slowest* path —
+        the one any endpoint-wide timeout decision must respect.
+        """
         total = ChannelStats()
         for channel in self._channels.values():
             for field in dataclasses.fields(ChannelStats):
                 setattr(total, field.name,
                         getattr(total, field.name)
                         + getattr(channel.stats, field.name))
+        paths = [c.stats for c in self._channels.values() if c.stats.rtt_samples]
+        total.srtt = max((s.srtt for s in paths), default=0.0)
+        total.rttvar = max((s.rttvar for s in paths), default=0.0)
         return total
+
+    def live_channels(self) -> list[ReliableChannel]:
+        """Every open channel of this endpoint, any peer, any address.
+
+        The autonomic control plane iterates these to read RTT estimates
+        and actuate per-channel RTOs; observability code uses it to list
+        per-peer counters without creating channel state.
+        """
+        return [channel for channel in self._channels.values()
+                if not channel.closed]
 
     def channel_addresses(self, peer: ServiceId) -> set[Address]:
         """Addresses at which ``peer`` currently has live channel state.

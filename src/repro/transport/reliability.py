@@ -39,6 +39,18 @@ round trip instead of one RTO.
 arithmetic (:func:`serial_lt`), so the protocol survives the wrap at
 2^32 — raw integer comparisons misclassify every packet that spans it.
 
+*RTT measurement.*  Every acknowledgement — cumulative or SACK — of a
+packet that was transmitted exactly once yields a round-trip sample;
+packets that were ever retransmitted are never sampled (Karn's algorithm:
+their ack is ambiguous between transmissions).  Samples feed an RFC-6298
+smoothed estimator surfaced as :attr:`ChannelStats.srtt` /
+:attr:`ChannelStats.rttvar` / :attr:`ChannelStats.rtt_samples`.  The
+channel only *measures*: deciding what RTO the measurements justify is
+the job of the autonomic control plane
+(:class:`repro.autonomic.controllers.RttController`), which actuates
+:meth:`ReliableChannel.set_rto` — so a channel without a controller
+behaves exactly as configured.
+
 *Exactly-once, in-order.*  Duplicates (retransmissions the ack for which
 was lost, or datagrams the network duplicated) are suppressed and
 re-acknowledged.  The reorder buffer is sized at least as large as the
@@ -113,6 +125,12 @@ class ChannelStats:
     reorder_drops: int = 0
     acks_sent: int = 0
     give_ups: int = 0
+    #: RFC-6298 estimator state, fed by acks of never-retransmitted
+    #: packets (Karn).  ``srtt``/``rttvar`` are 0.0 until the first
+    #: sample; ``rtt_samples`` counts how many have been folded in.
+    rtt_samples: int = 0
+    srtt: float = 0.0
+    rttvar: float = 0.0
 
 
 @dataclass(slots=True)
@@ -122,8 +140,10 @@ class _InFlight:
     payload: bytes
     rto: float           # private backoff, doubled on each timeout resend
     deadline: float      # absolute time of the next retransmission
+    sent_at: float = 0.0  # first-transmission instant (RTT sampling)
     retries: int = 0     # timeout retransmissions so far
     sacked: bool = False  # receiver holds it; never retransmit
+    resent: bool = False  # ever retransmitted; Karn: never RTT-sample it
 
 
 class ReliableChannel:
@@ -191,6 +211,34 @@ class ReliableChannel:
     @property
     def window(self) -> int:
         return self._window
+
+    @property
+    def rto_initial(self) -> float:
+        """Base RTO every newly sent packet starts from."""
+        return self._rto_initial
+
+    @property
+    def rto_max(self) -> float:
+        return self._rto_max
+
+    def set_rto(self, rto_initial: float, rto_max: float | None = None) -> None:
+        """Actuator hook: retune the base RTO (and optionally its cap).
+
+        Called by the autonomic control plane's RTT controller with an
+        RFC-6298 estimate; packets already in flight keep their private
+        backoff, new transmissions use the new base.  The cap is raised
+        automatically if the new base would exceed it.
+        """
+        if rto_initial <= 0:
+            raise ConfigurationError(f"rto_initial must be > 0, got {rto_initial}")
+        if rto_max is not None:
+            if rto_max < rto_initial:
+                raise ConfigurationError(
+                    f"bad RTO bounds: initial={rto_initial}, max={rto_max}")
+            self._rto_max = rto_max
+        elif self._rto_max < rto_initial:
+            self._rto_max = rto_initial
+        self._rto_initial = rto_initial
 
     @property
     def closed(self) -> bool:
@@ -263,7 +311,7 @@ class ReliableChannel:
             self._next_seq = serial_succ(seq)
             self._in_flight[seq] = _InFlight(
                 payload=payload, rto=self._rto_initial,
-                deadline=now + self._rto_initial)
+                deadline=now + self._rto_initial, sent_at=now)
             self._transmit(seq, payload)
         self._ensure_timer()
 
@@ -319,6 +367,7 @@ class ReliableChannel:
                 return
             entry.rto = min(entry.rto * 2.0, self._rto_max)
             entry.deadline = now + entry.rto
+            entry.resent = True
             self._transmit(seq, entry.payload)
             self.stats.retransmissions += 1
         self._ensure_timer()
@@ -335,15 +384,23 @@ class ReliableChannel:
 
     def _process_ack(self, ack: int, sack: tuple[tuple[int, int], ...],
                      *, pure_ack: bool) -> None:
+        now = self._scheduler.now()
         for start, end in sack:
             for seq in list(self._in_flight):
                 if serial_leq(start, seq) and serial_leq(seq, end):
-                    self._in_flight[seq].sacked = True
+                    entry = self._in_flight[seq]
+                    if not entry.sacked:
+                        entry.sacked = True
+                        if not entry.resent:
+                            self._record_rtt(now - entry.sent_at)
         acked = [seq for seq in self._in_flight
                  if serial_leq(seq, ack)] if ack else []
         if acked:
             for seq in acked:
-                del self._in_flight[seq]
+                entry = self._in_flight.pop(seq)
+                # SACKed entries were sampled when the SACK arrived.
+                if not entry.resent and not entry.sacked:
+                    self._record_rtt(now - entry.sent_at)
             self._last_cum_ack = ack
             self._dup_acks = 0
             self._fast_rtx_seq = None
@@ -370,11 +427,31 @@ class ReliableChannel:
             # Push the timeout out one private RTO, but no backoff: a fast
             # retransmit is evidence the path works, not that it is slow.
             entry.deadline = self._scheduler.now() + entry.rto
+            entry.resent = True
             self._transmit(seq, entry.payload)
             self.stats.retransmissions += 1
             self.stats.fast_retransmits += 1
             self._ensure_timer()
             return
+
+    def _record_rtt(self, sample: float) -> None:
+        """Fold one round-trip sample into the RFC-6298 estimator.
+
+        First sample initialises ``srtt = R`` and ``rttvar = R/2``;
+        thereafter the standard EWMA update (alpha 1/8, beta 1/4).  The
+        estimator lives in :attr:`stats` so observers — and the autonomic
+        RTT controller — read it without touching channel internals.
+        """
+        if sample < 0.0:
+            return
+        stats = self.stats
+        if stats.rtt_samples == 0:
+            stats.srtt = sample
+            stats.rttvar = sample / 2.0
+        else:
+            stats.rttvar = 0.75 * stats.rttvar + 0.25 * abs(stats.srtt - sample)
+            stats.srtt = 0.875 * stats.srtt + 0.125 * sample
+        stats.rtt_samples += 1
 
     # -- receive machinery ---------------------------------------------------
 

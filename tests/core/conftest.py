@@ -7,6 +7,7 @@ protocol.
 
 import pytest
 
+from repro.autonomic.manager import build_bus_manager
 from repro.core.bootstrap import ProxyBootstrap
 from repro.core.bus import EventBus
 from repro.core.client import BusClient
@@ -21,9 +22,13 @@ class CoreKit:
 
     ``shards > 1`` builds the core around a :class:`ShardedEventBus`, so
     any kit-based suite can be re-run against the partitioned bus.
+    ``autonomic`` (an AutonomicConfig) attaches the MAPE-K control plane
+    over the kit's bus and endpoint; the manager is *not* started on a
+    timer — deterministic suites tick it explicitly so
+    ``run_until_idle`` still terminates.
     """
 
-    def __init__(self, sim, hub, window=None, shards=1):
+    def __init__(self, sim, hub, window=None, shards=1, autonomic=None):
         self.sim = sim
         self.hub = hub
         endpoint_kwargs = {} if window is None else {"window": window}
@@ -36,6 +41,10 @@ class CoreKit:
             self.bus = EventBus(sim, make_engine("forwarding"))
         self.bootstrap = ProxyBootstrap(self.bus, self.core_endpoint)
         self.discovery = self.bus.local_publisher("manual-discovery")
+        self.autonomic = None
+        if autonomic is not None:
+            self.autonomic = build_bus_manager(sim, self.bus,
+                                               self.core_endpoint, autonomic)
 
     def device_endpoint(self, name, **kwargs) -> PacketEndpoint:
         if self.window is not None:

@@ -22,7 +22,12 @@ from hypothesis import strategies as st
 
 from repro.core.bus import EventBus
 from repro.core.events import Event
-from repro.core.sharding import ShardedEventBus, ShardedMatcher, shard_index
+from repro.core.sharding import (
+    ShardedEventBus,
+    ShardedMatcher,
+    shard_index,
+    value_bucket,
+)
 from repro.errors import ConfigurationError
 from repro.ids import service_id_from_name
 from repro.matching.engine import BruteForceMatcher, make_engine
@@ -106,6 +111,126 @@ class TestShardedMatcherDifferential:
         expected = [_ids(oracle.match(attrs)) for attrs in stream]
         assert over_brute.match_batch_ids(stream) == expected
         assert over_siena.match_batch_ids(stream) == expected
+
+
+class TestSplitClassDifferential:
+    """A rebalanced (value-bucket-split) matcher is still just a matcher.
+
+    The autonomic rebalancer's actuator —
+    :meth:`ShardedMatcher.split_class` — re-routes a live class by a
+    secondary value bucket.  Whatever class and bucket attribute it
+    picks, at any point in the subscription lifecycle, match results
+    must stay identical to the brute oracle: before the split, after it,
+    after churn removes half the table, and for registrations arriving
+    *after* the split (which must follow the new routing).
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(subscription_tables, event_streams, st.data())
+    def test_split_agrees_with_oracle_through_lifecycle(self, table, stream,
+                                                        data):
+        oracle = BruteForceMatcher()
+        matcher = ShardedMatcher(4)
+        _subscribe_all([oracle, matcher], table)
+
+        classes = sorted({name_class(filt)
+                          for filters in table for filt in filters
+                          if name_class(filt)}, key=sorted)
+        if not classes:
+            return
+        names = data.draw(st.sampled_from(classes), label="split class")
+        bucket = data.draw(st.sampled_from(sorted(names)), label="bucket")
+
+        # Warm the shards, then split the live class.
+        warm = [_ids(subs) for subs in oracle.match_batch(stream)]
+        assert matcher.match_batch_ids(stream) == warm
+        matcher.split_class(names, bucket)
+        assert matcher.match_batch_ids(stream) == warm
+        assert [_ids(matcher.match(attrs)) for attrs in stream] == warm
+
+        # Churn after the split: deindexing must reverse the bucketed
+        # routing exactly.
+        to_remove = data.draw(st.sets(st.integers(1, len(table)),
+                                      max_size=len(table) - 1),
+                              label="unsubscribed")
+        for sub_id in sorted(to_remove):
+            oracle.unsubscribe(sub_id)
+            matcher.unsubscribe(sub_id)
+
+        # New registrations in the split class follow the new routing.
+        next_id = len(table) + 1
+        for filters in table[:2]:
+            subscription = Subscription(next_id, SID, filters)
+            oracle.subscribe(subscription)
+            matcher.subscribe(subscription)
+            next_id += 1
+
+        expected = [_ids(oracle.match(attrs)) for attrs in stream]
+        assert matcher.match_batch_ids(stream) == expected
+        assert [_ids(matcher.match(attrs)) for attrs in stream] == expected
+
+    def test_split_spreads_a_pinned_class(self):
+        """The skew the rebalancer exists for: one class, one shard —
+        until the split distributes it by the EQ operand's bucket."""
+        matcher = ShardedMatcher(8)
+        for index in range(64):
+            filt = Filter([Constraint("ward", Op.EQ, f"w-{index % 16}"),
+                           Constraint("hr", Op.GT, index)])
+            matcher.subscribe(Subscription(index + 1, SID, [filt]))
+        loads = matcher.shard_loads()
+        pinned = shard_index(frozenset({"ward", "hr"}), 8)
+        assert loads[pinned] == 64 and sum(loads) == 64
+
+        moved = matcher.split_class({"ward", "hr"}, "ward")
+        assert moved == 64
+        spread = matcher.shard_loads()
+        assert sum(spread) == 64
+        assert max(spread) < 64
+        assert sum(1 for load in spread if load) > 1
+        # Every fragment sits exactly at its operand's bucket shard.
+        for index in range(16):
+            expected = value_bucket(f"w-{index}", 8)
+            filt = Filter([Constraint("ward", Op.EQ, f"w-{index}"),
+                           Constraint("hr", Op.GT, 1)])
+            assert matcher.shard_of_filter(filt) == expected
+
+    def test_split_guards(self):
+        matcher = ShardedMatcher(4)
+        matcher.subscribe(Subscription(1, SID, [
+            Filter([Constraint("a", Op.EQ, 1), Constraint("b", Op.GT, 0)])]))
+        with pytest.raises(ConfigurationError):
+            matcher.split_class({"a", "b"}, "zz")       # not in the class
+        with pytest.raises(ConfigurationError):
+            matcher.split_class(frozenset(), "a")       # the empty class
+        with pytest.raises(ConfigurationError):
+            ShardedMatcher(1).split_class({"a"}, "a")   # nothing to spread
+        matcher.split_class({"a", "b"}, "a")
+        with pytest.raises(ConfigurationError):
+            matcher.split_class({"a", "b"}, "b")        # already split
+
+    def test_eq_equal_numbers_bucket_together(self):
+        """1 and 1.0 satisfy the same EQ constraint, so they must route
+        to the same bucket shard — otherwise a float-valued event would
+        miss an int-constrained filter after a split."""
+        for count in (2, 4, 8):
+            assert value_bucket(1, count) == value_bucket(1.0, count)
+            assert value_bucket(-3, count) == value_bucket(-3.0, count)
+
+    def test_class_stats_report_shape(self):
+        matcher = ShardedMatcher(8)
+        for index in range(6):
+            matcher.subscribe(Subscription(index + 1, SID, [
+                Filter([Constraint("ward", Op.EQ, f"w-{index % 3}"),
+                        Constraint("hr", Op.GT, index)])]))
+        (stat,) = matcher.class_stats()
+        assert stat.names == frozenset({"ward", "hr"})
+        assert stat.fragments == 6
+        assert stat.shard == shard_index(stat.names, 8)
+        assert not stat.split
+        assert stat.eq_diversity == {"ward": 3}
+        matcher.split_class(stat.names, "ward")
+        (stat,) = matcher.class_stats()
+        assert stat.split
 
 
 class TestShardRouting:

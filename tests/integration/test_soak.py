@@ -14,12 +14,19 @@ duplicates.  Asserts the paper's semantics verbatim:
 * **counter consistency** — ``published == matched + unmatched +
   duplicates_dropped + from_unknown_member`` (every publication attempt
   is accounted exactly once).
+
+The autonomic parametrisation re-runs the whole soak with the MAPE-K
+control plane fully enabled (RTT controller, adaptive flush, shard
+rebalancer) and ticking between every round, so RTO retuning, flush-cap
+changes and a live hot-class split all land *mid-stream*, interleaved
+with purges and readmissions — and none of the semantics above may move.
 """
 
 import random
 
 import pytest
 
+from repro.autonomic import AutonomicConfig
 from repro.core import protocol
 from repro.core.events import Event, encode_event
 from repro.core.protocol import BusOp
@@ -86,15 +93,24 @@ def assert_per_sender_fifo(inbox):
         last[event.sender] = event.seqno
 
 
-@pytest.mark.parametrize("seed,shards", [
-    (7, 1), (2026, 1),          # the classic single bus
-    (7, 2), (2026, 8),          # sharded cores: semantics must not move
+#: Aggressive thresholds so every controller actually actuates within the
+#: soak's small table and burst sizes: the point is semantics under live
+#: actuation, not production tuning.
+SOAK_AUTONOMIC = AutonomicConfig(
+    flush_min_sent=1, flush_min_bytes=512,
+    rebalance_hot_ratio=1.2, rebalance_min_fragments=2)
+
+
+@pytest.mark.parametrize("seed,shards,autonomic", [
+    (7, 1, None), (2026, 1, None),      # the classic single bus
+    (7, 2, None), (2026, 8, None),      # sharded cores: semantics fixed
+    (11, 8, SOAK_AUTONOMIC),            # all three loops actuating live
 ])
-def test_soak_churn_exactly_once_fifo_and_counters(seed, shards):
+def test_soak_churn_exactly_once_fifo_and_counters(seed, shards, autonomic):
     rng = random.Random(seed)
     sim = Simulator()
     hub = InMemoryHub(sim)
-    kit = CoreKit(sim, hub, shards=shards)
+    kit = CoreKit(sim, hub, shards=shards, autonomic=autonomic)
 
     publishers = [kit.client(f"pub-{i}") for i in range(PUBLISHERS)]
     pub_member = {p.service_id: True for p in publishers}
@@ -196,6 +212,13 @@ def test_soak_churn_exactly_once_fifo_and_counters(seed, shards):
             sim.run_until_idle()
         sim.run_until_idle()
 
+        # One control-plane round per soak round: actuations (RTO
+        # retunes, flush resizes, the hot-class split) land between
+        # bursts, interleaved with the membership churn above.
+        if kit.autonomic is not None:
+            kit.autonomic.tick()
+            sim.run_until_idle()
+
     if not churny.member:
         churny.readmit()
     sim.run(sim.now() + 60.0)
@@ -223,3 +246,11 @@ def test_soak_churn_exactly_once_fifo_and_counters(seed, shards):
                                + stats.duplicates_dropped
                                + stats.from_unknown_member), stats
     assert stats.published > total_member_published
+
+    # -- the autonomic run must actually have closed all three loops -----
+    if kit.autonomic is not None:
+        fired = {actuation.controller for actuation in kit.autonomic.audit}
+        assert {"rtt", "flush", "rebalance"} <= fired, (
+            f"controllers that actuated: {sorted(fired)}")
+        splits = kit.bus.sharded.splits()
+        assert splits, "rebalancer never split the hot class"

@@ -17,6 +17,7 @@ from repro.sim.hosts import LAPTOP_PROFILE, SimHost
 from repro.sim.kernel import Simulator
 from repro.sim.radio import LinkProfile, SimNetwork
 from repro.sim.rng import RngRegistry
+from repro.transport.inmem import InMemoryHub
 from repro.transport.packets import Packet, PacketType
 from repro.transport.reliability import (
     ReliableChannel,
@@ -394,6 +395,76 @@ _CHAOS_LINK = LinkProfile(name="chaos", latency_mean_s=5e-3,
                           latency_min_s=1e-3, latency_max_s=30e-3,
                           bandwidth_bps=1_000_000.0, loss_rate=0.15,
                           duplicate_rate=0.10, mtu=1472)
+
+
+class TestRttSampling:
+    """Karn-filtered RFC-6298 measurement surfaced in ChannelStats."""
+
+    def test_samples_accumulate_on_clean_link(self, sim):
+        hub = InMemoryHub(sim, delay_s=0.010)         # 20 ms RTT
+        chan_a, _, _, delivered_b = make_pair(sim, hub, window=4,
+                                              rto_initial=0.5)
+        for i in range(20):
+            sim.call_at(i * 0.05, chan_a.send, f"m{i}".encode())
+        sim.run_until_idle()
+        stats = chan_a.stats
+        assert len(delivered_b) == 20
+        assert stats.retransmissions == 0
+        assert stats.rtt_samples == 20
+        # Fixed link delay: the estimate converges on the true RTT and
+        # the deviation decays.
+        assert stats.srtt == pytest.approx(0.020, rel=0.05)
+        assert stats.rttvar < stats.srtt / 2
+
+    def test_retransmitted_packets_are_never_sampled(self, sim, hub):
+        """Karn's algorithm: an ack for a retransmitted packet is
+        ambiguous, so it must not feed the estimator."""
+        chan_a, _, _, delivered_b = make_pair(sim, hub, rto_initial=0.05)
+        drop_data_seq_once(hub, 1)
+        chan_a.send(b"lost-once")
+        sim.run_until_idle()
+        assert delivered_b == [b"lost-once"]
+        assert chan_a.stats.retransmissions == 1
+        assert chan_a.stats.rtt_samples == 0          # Karn excluded it
+        chan_a.send(b"clean")
+        sim.run_until_idle()
+        assert chan_a.stats.rtt_samples == 1          # fresh packet samples
+
+    def test_sack_acknowledgement_samples(self, sim, hub):
+        """A packet first acknowledged via a SACK range (cumulative ack
+        held back by an earlier hole) still yields its RTT sample — and
+        only once, not again at the later cumulative ack."""
+        chan_a, _, _, delivered_b = make_pair(sim, hub, window=4,
+                                              rto_initial=0.2)
+        drop_data_seq_once(hub, 1)
+        for i in range(4):
+            chan_a.send(f"m{i}".encode())
+        sim.run_until_idle()
+        assert delivered_b == [f"m{i}".encode() for i in range(4)]
+        # seq 1 was retransmitted (no sample); 2..4 were SACKed fresh.
+        assert chan_a.stats.rtt_samples == 3
+
+    def test_set_rto_actuator(self, sim, hub):
+        chan_a, _, _, _ = make_pair(sim, hub, rto_initial=0.05)
+        assert chan_a.rto_initial == 0.05
+        chan_a.set_rto(0.2)
+        assert chan_a.rto_initial == 0.2
+        chan_a.set_rto(5.0)                  # above the old max: cap follows
+        assert chan_a.rto_max >= 5.0
+        with pytest.raises(ConfigurationError):
+            chan_a.set_rto(0.0)
+        with pytest.raises(ConfigurationError):
+            chan_a.set_rto(0.2, rto_max=0.1)
+
+    def test_set_rto_applies_to_new_packets(self, sim):
+        hub = InMemoryHub(sim, delay_s=0.050)         # 100 ms RTT
+        chan_a, _, _, delivered_b = make_pair(sim, hub, rto_initial=0.5)
+        chan_a.set_rto(0.150)
+        chan_a.send(b"x")
+        sim.run_until_idle()
+        # RTO above the RTT: delivered without a spurious retransmission.
+        assert delivered_b == [b"x"]
+        assert chan_a.stats.retransmissions == 0
 
 
 class TestDifferential:
