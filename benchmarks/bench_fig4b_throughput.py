@@ -46,12 +46,20 @@ def test_fig4b_throughput_curves(once, benchmark):
     # C bus above Siena bus at every payload.
     for payload in nonzero:
         assert cbus[payload] > siena[payload]
-    # Far below the raw link (paper: ~575 KB/s vs <= ~20 KB/s).
+    # Far below the raw link (paper: ~575 KB/s vs <= ~20 KB/s measured on
+    # the paper's own copy-heavy JVM path).  The zero-copy wire path
+    # (PR 5) halves the software copies each event pays, so this
+    # reproduction now sits somewhat above the paper's 0-22 KB/s axis
+    # while keeping the paper's shape: per-event software costs — not
+    # link bandwidth — still cap both buses two orders of magnitude
+    # below the raw link.
     assert cbus[3000] < 40.0
     assert siena[3000] < 30.0
-    # And within the magnitude band the paper plots (0-22 KB/s axis).
-    assert 5.0 < cbus[3000] < 25.0
-    assert 4.0 < siena[3000] < 20.0
+    # Magnitude band, recalibrated for the single-copy path (measured
+    # cbus ~25.0, siena ~14.3 KB/s at 3000 B; the pre-PR 5 double-copy
+    # path measured 16.8 / 11.2).
+    assert 10.0 < cbus[3000] < 35.0
+    assert 6.0 < siena[3000] < 25.0
 
 
 def test_fig4b_batch_pipeline_beats_per_event(once, benchmark):

@@ -46,6 +46,7 @@ from repro.sim.hosts import CostMeter, NullCostMeter
 from repro.sim.kernel import Scheduler
 from repro.transport.wire import Value
 
+from repro.core import protocol
 from repro.core.events import Event
 
 if TYPE_CHECKING:                                    # pragma: no cover
@@ -53,6 +54,31 @@ if TYPE_CHECKING:                                    # pragma: no cover
     from repro.core.quench import QuenchController
 
 LocalCallback = Callable[[Event], None]
+
+
+class DeliverMemo:
+    """Encode-once cache for one dispatch fan-out.
+
+    Dispatch TLV-encodes each matched event exactly once and shares the
+    framed DELIVER payload with every interested service-style proxy —
+    at 50 subscribers the old per-proxy ``encode_outbound`` ran the full
+    TLV encode 50 times for identical bytes.  Keyed by event identity:
+    the memo lives only for one dispatch, during which every event in
+    the batch is strongly referenced.
+    """
+
+    __slots__ = ("_frames",)
+
+    def __init__(self) -> None:
+        self._frames: dict[int, bytes] = {}
+
+    def deliver_frame(self, event: Event) -> bytes:
+        """The shared DELIVER framing of ``event``, encoded on first use."""
+        framed = self._frames.get(id(event))
+        if framed is None:
+            framed = protocol.deliver_frame(event)
+            self._frames[id(event)] = framed
+        return framed
 
 
 def _run_slice(callback: LocalCallback, events: list["Event"]) -> None:
@@ -283,6 +309,9 @@ class EventBus:
         self.stats.matched += 1
 
         # Deliver once per interested *component*, not per subscription.
+        # One memo per dispatch: the standard DELIVER framing is encoded
+        # at most once however many proxies the fan-out reaches.
+        memo = DeliverMemo()
         local_done = set()
         remote_done = set()
         for subscription in matched:
@@ -298,7 +327,7 @@ class EventBus:
                 remote_done.add(owner)
                 proxy = self._proxies.get(owner)
                 if proxy is not None:
-                    proxy.deliver(event)
+                    proxy.deliver(event, memo)
                     self.stats.delivered_remote += 1
         return True
 
@@ -387,10 +416,13 @@ class EventBus:
             # already matched for it.
             self.scheduler.call_soon(_run_slice,
                                      local_callbacks[sub_id], events_slice)
+        # One memo across every subscriber's slice: overlapping slices
+        # share each event's DELIVER encoding instead of re-running it.
+        memo = DeliverMemo()
         for owner, events_slice in remote_slices.items():
             proxy = self._proxies.get(owner)
             if proxy is not None:
-                proxy.deliver_batch(events_slice)
+                proxy.deliver_batch(events_slice, memo)
 
     # -- quenching -----------------------------------------------------------
 

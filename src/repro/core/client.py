@@ -31,13 +31,14 @@ from repro.matching.filters import (
 )
 from repro.sim.hosts import INBOUND_COPIES, OUTBOUND_COPIES, CostMeter, NullCostMeter
 from repro.sim.kernel import Scheduler
+from repro.transport import wire
 from repro.transport.base import Address
 from repro.transport.endpoint import PacketEndpoint
 from repro.transport.reliability import ChannelStats
 from repro.transport.wire import Value
 
 from repro.core import protocol
-from repro.core.events import Event, decode_event, encode_event
+from repro.core.events import Event, decode_event
 from repro.core.protocol import BusOp
 
 EventCallback = Callable[[Event], None]
@@ -107,7 +108,9 @@ class BusClient:
             return None
         event = Event(event_type, attributes or {}, self.service_id,
                       next(self._next_seqno), self.scheduler.now())
-        payload = protocol.frame(BusOp.PUBLISH, encode_event(event))
+        # Scatter-gather encode: chunks are joined exactly once, here at
+        # the reliable-payload boundary.
+        payload = b"".join(protocol.publish_parts(event))
         self.meter.charge_copy(OUTBOUND_COPIES * len(payload))
         self.endpoint.send_reliable(self.bus_address, payload)
         self.stats.published += 1
@@ -135,8 +138,9 @@ class BusClient:
         events = [Event(event_type, attributes or {}, self.service_id,
                         next(self._next_seqno), now)
                   for event_type, attributes in items]
-        frames = [protocol.frame(BusOp.PUBLISH, encode_event(event))
-                  for event in events]
+        # Chunk lists, not joined frames: chunk_frames joins each reliable
+        # payload exactly once at the boundary.
+        frames = [protocol.publish_parts(event) for event in events]
         # Chunk to the hop's window: one big payload on a stop-and-wait
         # channel, streaming MTU-sized payloads on a pipelined one —
         # unless the autonomic flush controller has overridden the cap.
@@ -225,7 +229,7 @@ class BusClient:
                 return
             self.stats.batches_received += 1
             for framed in frames:
-                if framed[:1] == bytes((BusOp.BATCH,)):
+                if len(framed) and framed[0] == BusOp.BATCH:
                     self.stats.malformed += 1     # batches never nest
                     continue
                 self._on_payload(peer, framed)
@@ -238,7 +242,9 @@ class BusClient:
             self._set_quenched(state)
         elif op == BusOp.DEVICE_CMD:
             if self.on_command is not None:
-                self.on_command(body)
+                # Command callbacks parse device byte-protocols and may
+                # hold the bytes; the view must not escape.
+                self.on_command(wire.as_bytes(body))
         else:
             self.stats.malformed += 1
 

@@ -100,11 +100,14 @@ class Event:
         return self.attributes.get(name, default)
 
     def __eq__(self, other) -> bool:
+        # Compare the mapping proxies directly (they delegate to the
+        # underlying dicts) — the dedup and soak paths compare events at
+        # volume, so no throwaway dicts per comparison.
         return (isinstance(other, Event)
                 and self.type == other.type
-                and dict(self.attributes) == dict(other.attributes)
                 and self.sender == other.sender
-                and self.seqno == other.seqno)
+                and self.seqno == other.seqno
+                and self.attributes == other.attributes)
 
     def __hash__(self) -> int:
         return hash((self.type, self.sender, self.seqno))
@@ -120,33 +123,130 @@ def type_name(value) -> str:
 
 # -- codec -------------------------------------------------------------------
 
+_TS_STRUCT = struct.Struct("!d")
+
+
+def write_event(out: list[bytes], event: Event) -> None:
+    """Append an event's wire chunks to ``out`` without joining.
+
+    The scatter-gather half of the codec: framing and batching layers
+    stack their own chunks around these and the whole payload is joined
+    exactly once at the reliable-payload boundary.
+    """
+    wire.write_str(out, event.type)
+    out.append(event.sender.to_bytes48())
+    out.append(wire.encode_varint(event.seqno))
+    out.append(_TS_STRUCT.pack(event.timestamp))
+    wire.write_attr_map(out, event.attributes)
+
+
 def encode_event(event: Event) -> bytes:
     """Serialise an event for the wire."""
-    return b"".join((
-        wire.encode_str(event.type),
-        event.sender.to_bytes48(),
-        wire.encode_varint(event.seqno),
-        struct.pack("!d", event.timestamp),
-        wire.encode_attr_map(dict(event.attributes)),
-    ))
+    out: list[bytes] = []
+    write_event(out, event)
+    return b"".join(out)
 
 
-def decode_event(buf: bytes, offset: int = 0) -> tuple[Event, int]:
-    """Parse an event from wire bytes; returns (event, new offset)."""
-    event_type, pos = wire.decode_str(buf, offset)
-    if pos + 6 > len(buf):
+def decode_event(buf: wire.Buffer, offset: int = 0) -> tuple[Event, int]:
+    """Parse an event from any wire buffer; returns (event, new offset).
+
+    Accepts ``bytes``, ``bytearray`` or a ``memoryview``.  A non-bytes
+    buffer is materialised exactly once here — the event object is where
+    decoded data becomes long-lived, and this is the single inbound
+    socket-buffer -> runtime copy the cost model charges
+    (``INBOUND_COPIES``).  The packet and batch-framing layers above
+    stay zero-copy ``memoryview`` slices; flattening at this leaf is
+    deliberate: CPython pays a fixed per-operation penalty for
+    ``str``/``bytes`` construction from views that exceeds the one
+    ``memcpy`` at event-payload sizes, so parsing runs over ``bytes``.
+    The fixed fields are decoded inline (every event on every hop passes
+    through here; the per-call overhead of the modular wire functions is
+    measurable at event rates), with the one-byte-varint fast path that
+    covers realistic type-name lengths and sequence numbers.
+    """
+    if type(buf) is not bytes:
+        buf = bytes(buf)
+    size = len(buf)
+    # Event type (inlined wire.decode_str).
+    if offset < size and buf[offset] < 0x80:
+        length = buf[offset]
+        pos = offset + 1
+    else:
+        length, pos = wire.decode_varint(buf, offset)
+    end = pos + length
+    if end > size:
+        raise CodecError("truncated string")
+    # Interned type names: a deployment speaks a small vocabulary of
+    # event types, each repeated on every event — the cache skips the
+    # UTF-8 decode and yields identity-equal strings, which the matching
+    # tables then hash-compare on the fast path.
+    raw_type = buf[pos:end]
+    event_type = _TYPE_CACHE.get(raw_type)
+    if event_type is None:
+        try:
+            event_type = str(raw_type, "utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"invalid UTF-8: {exc}") from exc
+        if not event_type:
+            raise CodecError("empty event type on wire")
+        if len(_TYPE_CACHE) >= _TYPE_CACHE_MAX:
+            _TYPE_CACHE.clear()
+        _TYPE_CACHE[raw_type] = event_type
+    pos = end
+    # Sender id, interned: a cell sees the same few senders on every event.
+    if pos + 6 > size:
         raise CodecError("truncated event: missing sender id")
-    sender = ServiceId.from_bytes48(buf[pos:pos + 6])
+    sender_key = int.from_bytes(buf[pos:pos + 6], "big")
+    sender = _SENDER_CACHE.get(sender_key)
+    if sender is None:
+        sender = _wire_sender(sender_key)
     pos += 6
-    seqno, pos = wire.decode_varint(buf, pos)
-    if pos + 8 > len(buf):
+    # Sequence number (inlined wire.decode_varint fast path).
+    if pos < size and buf[pos] < 0x80:
+        seqno = buf[pos]
+        pos += 1
+    else:
+        seqno, pos = wire.decode_varint(buf, pos)
+    if pos + 8 > size:
         raise CodecError("truncated event: missing timestamp")
-    (timestamp,) = struct.unpack_from("!d", buf, pos)
+    (timestamp,) = _TS_STRUCT.unpack_from(buf, pos)
     pos += 8
     attributes, pos = wire.decode_attr_map(buf, pos)
     if TYPE_ATTR in attributes:
         raise CodecError(f"reserved attribute {TYPE_ATTR!r} on wire")
-    return Event(event_type, attributes, sender, seqno, timestamp), pos
+    # The wire layer already enforced every Event invariant (non-empty
+    # type and names, codec value types, seqno >= 0 by varint), so build
+    # the event directly instead of paying Event.__init__'s revalidation
+    # — this is a large share of per-event decode cost on the hot path.
+    event = object.__new__(Event)
+    _set = object.__setattr__
+    _set(event, "type", event_type)
+    _set(event, "attributes", MappingProxyType(attributes))
+    _set(event, "sender", sender)
+    _set(event, "seqno", seqno)
+    _set(event, "timestamp", timestamp)
+    _set(event, "_view", None)
+    return event, pos
+
+
+#: Interned wire bytes -> event type string; bounded like the sender
+#: cache so adversarial type churn cannot grow it without limit.
+_TYPE_CACHE: dict[bytes, str] = {}
+_TYPE_CACHE_MAX = 1024
+
+#: Interned 48-bit value -> ServiceId.  ``ServiceId`` construction (int
+#: subclass plus range validation) is measurable per event; bounded so a
+#: sender flood cannot grow the cache without limit.
+_SENDER_CACHE: dict[int, ServiceId] = {}
+_SENDER_CACHE_MAX = 4096
+
+
+def _wire_sender(sender_key: int) -> ServiceId:
+    if len(_SENDER_CACHE) >= _SENDER_CACHE_MAX:
+        _SENDER_CACHE.clear()
+    sender = ServiceId(sender_key)     # 6 wire bytes: always within 48 bits
+    _SENDER_CACHE[sender_key] = sender
+    return sender
 
 
 # -- management event factories --------------------------------------------

@@ -23,14 +23,24 @@ A BATCH payload amortises per-packet overhead: a publisher coalesces many
 PUBLISH frames into one reliable payload, and a proxy flushes one DELIVER
 batch per scheduling round instead of one packet per event.  Batches never
 nest — a BATCH frame inside a BATCH body is malformed.
+
+Zero-copy framing: the ``*_parts`` builders return chunk lists instead of
+joined bytes, so the encode → frame → batch stack copies nothing until
+:func:`chunk_frames` joins each reliable payload exactly once.  The
+``parse``/``count`` side accepts any buffer and slices ``memoryview``\\ s
+instead of materialising per-frame copies.
 """
 
 from __future__ import annotations
 
 import enum
 
+from typing import Sequence
+
 from repro.errors import CodecError
 from repro.transport import wire
+
+from repro.core.events import Event, write_event
 
 
 class BusOp(enum.IntEnum):
@@ -45,27 +55,67 @@ class BusOp(enum.IntEnum):
     BATCH = 9
 
 
+#: One-byte opcode chunks, pre-built so framing never allocates for them.
+_OP_CHUNKS = {op: bytes((int(op),)) for op in BusOp}
+#: Wire byte -> opcode, so unframe skips enum construction per payload.
+_OP_FROM_BYTE = {int(op): op for op in BusOp}
+
+#: A frame handed to :func:`chunk_frames`: either already-joined bytes or
+#: a scatter-gather chunk list.
+Frame = bytes | list[bytes]
+
+
+def op_chunk(op: BusOp) -> bytes:
+    """The interned one-byte wire chunk for ``op``."""
+    return _OP_CHUNKS[op]
+
+
 def frame(op: BusOp, body: bytes = b"") -> bytes:
     """Prepend the opcode byte to a body."""
-    return bytes((int(op),)) + body
+    return _OP_CHUNKS[op] + body
 
 
-def unframe(payload: bytes) -> tuple[BusOp, bytes]:
-    """Split a payload into (opcode, body)."""
-    if not payload:
+def unframe(payload: wire.Buffer) -> tuple[BusOp, wire.Buffer]:
+    """Split a payload into (opcode, body).
+
+    The body is a slice of ``payload`` — zero-copy for ``memoryview``
+    input, which is what the packet layer hands up.
+    """
+    if not len(payload):
         raise CodecError("empty bus payload")
-    try:
-        op = BusOp(payload[0])
-    except ValueError:
-        raise CodecError(f"unknown bus opcode: {payload[0]}") from None
+    op = _OP_FROM_BYTE.get(payload[0])
+    if op is None:
+        raise CodecError(f"unknown bus opcode: {payload[0]}")
     return op, payload[1:]
+
+
+def event_frame_parts(op: BusOp, event: Event) -> list[bytes]:
+    """Chunk list for an event framed under ``op`` (PUBLISH/DELIVER)."""
+    out = [_OP_CHUNKS[op]]
+    write_event(out, event)
+    return out
+
+
+def publish_parts(event: Event) -> list[bytes]:
+    """Chunk list for one PUBLISH frame (joined once per reliable payload)."""
+    return event_frame_parts(BusOp.PUBLISH, event)
+
+
+def deliver_parts(event: Event) -> list[bytes]:
+    """Chunk list for one DELIVER frame (joined once per reliable payload)."""
+    return event_frame_parts(BusOp.DELIVER, event)
+
+
+def deliver_frame(event: Event) -> bytes:
+    """The standard DELIVER framing used by service-style proxies."""
+    return b"".join(deliver_parts(event))
 
 
 def frame_unsubscribe(sub_id: int) -> bytes:
     return frame(BusOp.UNSUBSCRIBE, wire.encode_varint(sub_id))
 
 
-def parse_unsubscribe(body: bytes) -> int:
+def parse_unsubscribe(body: wire.Buffer) -> int:
     sub_id, pos = wire.decode_varint(body)
     if pos != len(body):
         raise CodecError("trailing bytes after unsubscribe id")
@@ -96,31 +146,46 @@ def flush_limit(window: int) -> int:
     return BATCH_FLUSH_BYTES if window <= 1 else STREAM_FLUSH_BYTES
 
 
-def frame_batch(frames: list[bytes]) -> bytes:
+def frame_batch(frames: Sequence[bytes]) -> bytes:
     """Wrap framed payloads into one BATCH payload."""
     return frame(BusOp.BATCH, wire.encode_frames(frames))
 
 
-def parse_batch(body: bytes) -> list[bytes]:
-    """Split a BATCH body back into its framed payloads."""
+def parse_batch(body: wire.Buffer) -> list[wire.Buffer]:
+    """Split a BATCH body back into its framed payloads.
+
+    Frames are slices of ``body`` (zero-copy for ``memoryview`` input);
+    copy any frame that must outlive the underlying buffer.
+    """
     frames, pos = wire.decode_frames(body)
     if pos != len(body):
         raise CodecError("trailing bytes after batch frames")
     return frames
 
 
-def chunk_frames(frames: list[bytes],
+def _frame_chunks(framed: Frame) -> tuple[list[bytes] | tuple[bytes, ...], int]:
+    """Normalise one frame to (chunks, wire size)."""
+    if isinstance(framed, (bytes, bytearray, memoryview)):
+        return (framed,), len(framed)
+    return framed, sum(len(chunk) for chunk in framed)
+
+
+def chunk_frames(frames: Sequence[Frame],
                  max_bytes: int = BATCH_FLUSH_BYTES) -> list[bytes]:
     """Coalesce framed payloads into as few reliable payloads as possible.
 
-    Returns a list of payloads ready for ``send_reliable``: runs of small
-    frames are wrapped into BATCH payloads of at most ``max_bytes``; a
-    single frame (or one larger than ``max_bytes`` by itself) is passed
-    through unwrapped, so a batch of one is byte-identical to the
-    per-event path.
+    Frames may be joined ``bytes`` or scatter-gather chunk lists
+    (:func:`publish_parts` / :func:`deliver_parts`); either way each
+    returned payload is joined exactly once, here, at the reliable-payload
+    boundary — no per-layer concatenation.  Runs of small frames are
+    wrapped into BATCH payloads of at most ``max_bytes``; a single frame
+    (or one larger than ``max_bytes`` by itself) is passed through
+    unwrapped, so a batch of one is byte-identical to the per-event path.
+    A single pre-joined ``bytes`` frame passes through *unjoined* — the
+    shared fan-out encoding is reused as-is.
     """
     payloads: list[bytes] = []
-    pending: list[bytes] = []
+    pending: list[tuple[Sequence[bytes], int]] = []
     pending_size = 0
 
     def flush() -> None:
@@ -128,46 +193,76 @@ def chunk_frames(frames: list[bytes],
         if not pending:
             return
         if len(pending) == 1:
-            payloads.append(pending[0])
+            chunks, _ = pending[0]
+            if len(chunks) == 1 and isinstance(chunks[0], bytes):
+                payloads.append(chunks[0])
+            else:
+                payloads.append(b"".join(chunks))
         else:
-            payloads.append(frame_batch(pending))
+            if len(pending) > wire.MAX_FRAMES:
+                raise CodecError(f"too many frames in batch: {len(pending)}")
+            parts: list[bytes] = [_OP_CHUNKS[BusOp.BATCH],
+                                  wire.encode_varint(len(pending))]
+            for chunks, size in pending:
+                parts.append(wire.encode_varint(size))
+                parts.extend(chunks)
+            payloads.append(b"".join(parts))
         pending = []
         pending_size = 0
 
     for framed in frames:
-        if pending and pending_size + len(framed) > max_bytes:
+        chunks, size = _frame_chunks(framed)
+        if pending and pending_size + size > max_bytes:
             flush()
-        pending.append(framed)
-        pending_size += len(framed)
+        pending.append((chunks, size))
+        pending_size += size
     flush()
     return payloads
 
 
-def count_publications(payload: bytes) -> int:
+def count_publications(payload: wire.Buffer) -> int:
     """Number of PUBLISH frames ``payload`` carries (0 for non-publish ops).
 
     Used for publication accounting on payloads that are dropped before
     they reach the bus (e.g. traffic from non-members): the bus counts
-    every publication *attempt*, even rejected ones.
+    every publication *attempt*, even rejected ones.  Counts opcodes from
+    a single varint walk over the batch body — no frame is materialised
+    or copied on this reject path.
     """
-    if not payload:
+    if not len(payload):
         return 0
     if payload[0] == BusOp.PUBLISH:
         return 1
-    if payload[0] == BusOp.BATCH:
+    if payload[0] != BusOp.BATCH:
+        return 0
+    end = len(payload)
+    try:
+        count, pos = wire.decode_varint(payload, 1)
+    except CodecError:
+        return 0
+    if count > wire.MAX_FRAMES:
+        return 0
+    publications = 0
+    for _ in range(count):
         try:
-            frames = parse_batch(payload[1:])
+            length, pos = wire.decode_varint(payload, pos)
         except CodecError:
             return 0
-        return sum(1 for f in frames if f[:1] == bytes((BusOp.PUBLISH,)))
-    return 0
+        if pos + length > end:
+            return 0                    # truncated frame: malformed batch
+        if length and payload[pos] == BusOp.PUBLISH:
+            publications += 1
+        pos += length
+    if pos != end:
+        return 0                        # trailing bytes: malformed batch
+    return publications
 
 
 def frame_quench(quench_on: bool) -> bytes:
     return frame(BusOp.QUENCH, b"\x01" if quench_on else b"\x00")
 
 
-def parse_quench(body: bytes) -> bool:
+def parse_quench(body: wire.Buffer) -> bool:
     if len(body) != 1 or body[0] not in (0, 1):
-        raise CodecError(f"bad quench body: {body!r}")
+        raise CodecError(f"bad quench body: {bytes(body)!r}")
     return bool(body[0])

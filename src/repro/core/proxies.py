@@ -36,6 +36,10 @@ from repro.core.protocol import BusOp
 class ServiceProxy(Proxy):
     """Forwarding proxy for members that speak the bus protocol natively."""
 
+    # The DELIVER framing carries nothing member-specific, so the bus
+    # encodes it once per dispatch and shares it across the fan-out.
+    shared_outbound = True
+
     def encode_outbound(self, event: Event) -> bytes | None:
         return deliver_frame(event)
 

@@ -23,6 +23,7 @@ from repro.core.protocol import BusOp
 from repro.discovery.agent import AgentConfig, DiscoveryAgent
 from repro.errors import ConfigurationError
 from repro.sim.kernel import Scheduler
+from repro.transport import wire
 from repro.transport.base import Address
 from repro.transport.endpoint import PacketEndpoint
 
@@ -164,7 +165,9 @@ class RawSensorDevice(Device):
             return
         if op == BusOp.DEVICE_CMD:
             self.stats.commands_received += 1
-            self.handle_command(body)
+            # Device protocol parsers expect real bytes; the zero-copy
+            # decode path hands up memoryview slices.
+            self.handle_command(wire.as_bytes(body))
 
 
 class SmartDevice(Device):

@@ -34,11 +34,17 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 from repro.sim.kernel import Scheduler
 
-#: Copies the bus software performs on each inbound event payload
-#: (socket buffer -> runtime, wire decode).  See DESIGN.md §3.
-INBOUND_COPIES = 2
-#: Copies on each outbound event payload (encode, runtime -> socket).
-OUTBOUND_COPIES = 2
+#: Copies the bus software performs on each inbound event payload.  Since
+#: the zero-copy wire path (PR 5) the decode pass slices ``memoryview``\ s
+#: of the datagram instead of materialising per-frame/per-value copies,
+#: so only the socket-buffer -> runtime handoff remains (it was 2 when
+#: the TLV decode copied every layer).
+INBOUND_COPIES = 1
+#: Copies on each outbound event payload.  Scatter-gather framing joins
+#: the encode -> frame -> batch chunk stack exactly once at the
+#: reliable-payload boundary, so only that runtime -> socket join remains
+#: (it was 2 when every layer concatenated).
+OUTBOUND_COPIES = 1
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,7 @@ VERSION = 1
 
 _HEADER = struct.Struct("!2sBBB6sIIHI")
 HEADER_SIZE = _HEADER.size            # 25 bytes
+_CRC_FIELD = struct.Struct("!I")      # trailing header field, patched in
 MAX_PAYLOAD = 0xFFFF
 
 _SACK_RANGE = struct.Struct("!II")
@@ -83,6 +84,10 @@ class PacketType(enum.IntEnum):
     LEAVE = 10      # discovery: polite departure
 
 
+#: Wire byte -> packet type, so decode skips enum construction per datagram.
+_TYPE_FROM_BYTE = {int(ptype): ptype for ptype in PacketType}
+
+
 class PacketFlags(enum.IntFlag):
     """Header flag bits."""
 
@@ -106,7 +111,9 @@ class Packet:
     sender: ServiceId
     seq: int = 0
     ack: int = 0
-    payload: bytes = b""
+    #: Sent packets carry ``bytes``; decoded packets carry a zero-copy
+    #: ``memoryview`` slice of the datagram (content-compares equal).
+    payload: "bytes | memoryview" = b""
     flags: PacketFlags = PacketFlags.NONE
     #: Selective-ack ranges: inclusive (start, end) sequence pairs the
     #: receiver holds beyond its cumulative ack.  Ranges may wrap the
@@ -135,24 +142,33 @@ class Packet:
         object.__setattr__(self, "flags", flags)
 
     def encode(self) -> bytes:
-        """Serialise to wire bytes, computing the checksum."""
-        payload = self.payload
-        if self.sack:
-            payload = _encode_sack(self.sack) + payload
-        header_no_crc = _HEADER.pack(
+        """Serialise to wire bytes, computing the checksum.
+
+        Scatter-gather: the checksum streams over (header, SACK block,
+        payload) without concatenating them first, and the datagram is
+        joined exactly once — the old double header pack plus
+        header+payload concatenation copied the payload twice per send.
+        """
+        sack_block = _encode_sack(self.sack) if self.sack else b""
+        header = bytearray(_HEADER.pack(
             MAGIC, self.version, int(self.type), int(self.flags),
             self.sender.to_bytes48(), self.seq, self.ack,
-            len(payload), 0)
-        crc = zlib.crc32(header_no_crc + payload) & 0xFFFFFFFF
-        header = _HEADER.pack(
-            MAGIC, self.version, int(self.type), int(self.flags),
-            self.sender.to_bytes48(), self.seq, self.ack,
-            len(payload), crc)
-        return header + payload
+            len(sack_block) + len(self.payload), 0))
+        crc = zlib.crc32(header)
+        if sack_block:
+            crc = zlib.crc32(sack_block, crc)
+        crc = zlib.crc32(self.payload, crc) & 0xFFFFFFFF
+        _CRC_FIELD.pack_into(header, HEADER_SIZE - 4, crc)
+        return b"".join((header, sack_block, self.payload))
 
     @classmethod
-    def decode(cls, datagram: bytes) -> "Packet":
-        """Parse wire bytes, verifying magic, length and checksum."""
+    def decode(cls, datagram: "bytes | bytearray | memoryview") -> "Packet":
+        """Parse wire bytes, verifying magic, length and checksum.
+
+        Accepts any buffer.  The decoded packet's payload is a zero-copy
+        ``memoryview`` slice of ``datagram`` (which stays alive through
+        the view); downstream decoders slice it further without copying.
+        """
         if len(datagram) < HEADER_SIZE:
             raise PacketError(f"datagram shorter than header: {len(datagram)}")
         (magic, version, ptype, flags, sender6, seq, ack,
@@ -165,16 +181,19 @@ class Packet:
             raise PacketError(
                 f"length mismatch: header says {paylen}, "
                 f"datagram carries {len(datagram) - HEADER_SIZE}")
-        payload = datagram[HEADER_SIZE:]
+        payload: "bytes | memoryview" = memoryview(datagram)[HEADER_SIZE:]
+        if not payload.readonly:
+            # Zero-copy slicing is only safe over an immutable backing
+            # buffer; writable input (bytearray) is copied once here.
+            payload = bytes(payload)
         header_no_crc = _HEADER.pack(magic, version, ptype, flags, sender6,
                                      seq, ack, paylen, 0)
-        expected = zlib.crc32(header_no_crc + payload) & 0xFFFFFFFF
+        expected = zlib.crc32(payload, zlib.crc32(header_no_crc)) & 0xFFFFFFFF
         if crc != expected:
             raise PacketError(f"checksum mismatch: {crc:#010x} != {expected:#010x}")
-        try:
-            packet_type = PacketType(ptype)
-        except ValueError:
-            raise PacketError(f"unknown packet type: {ptype}") from None
+        packet_type = _TYPE_FROM_BYTE.get(ptype)
+        if packet_type is None:
+            raise PacketError(f"unknown packet type: {ptype}")
         sack: tuple[tuple[int, int], ...] = ()
         if flags & PacketFlags.SACK:
             sack, payload = _decode_sack(payload)

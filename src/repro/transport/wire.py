@@ -10,15 +10,56 @@ Supported value types mirror what sensors and management components need:
 (IEEE-754 double), ``str`` (UTF-8) and ``bytes``.
 
 All multi-byte fixed-width fields are big-endian ("network order").
+
+Wire format reference (shared by the packet, bus-protocol and event
+layers)::
+
+    varint        LEB128: 7 value bits per byte, LSB group first, high bit
+                  set on every byte except the last.
+    string        varint byte-length, then UTF-8 bytes (no tag).
+    value         1-byte tag, then a tag-specific body:
+                    tag 1  bool    1 byte (0 or 1)
+                    tag 2  int     varint of the zig-zag mapped value
+                    tag 3  float   8 bytes, IEEE-754 double, big-endian
+                    tag 4  str     varint length + UTF-8 bytes
+                    tag 5  bytes   varint length + raw bytes
+    attr map      varint entry count, then per entry: string name + value,
+                  names sorted bytewise (canonical — encoding a map twice
+                  yields identical bytes).
+    frame list    varint frame count, then per frame: varint length + the
+                  opaque frame bytes (the BATCH body).
+
+Zero-copy discipline: every ``encode_*`` function has a ``write_*``
+sibling that appends chunks to a caller-supplied list instead of
+returning joined bytes, so multi-layer encoders (event -> frame -> batch
+-> packet) can delay the single ``b"".join`` to the reliable-payload
+boundary.  Every ``decode_*`` function accepts any object supporting the
+buffer protocol (``bytes``, ``bytearray``, ``memoryview``) and slices
+without materialising intermediate copies; the only copies taken are for
+values that escape into long-lived objects (``bytes`` attribute values).
 """
 
 from __future__ import annotations
 
 import struct
 
+from typing import Mapping, Sequence
+
 from repro.errors import CodecError
 
 Value = bool | int | float | str | bytes
+#: Anything the decode entry points accept.
+Buffer = bytes | bytearray | memoryview
+
+
+def as_bytes(buf: Buffer) -> bytes:
+    """Materialise a decoded buffer slice into real ``bytes``.
+
+    The boundary rule for the zero-copy path: a body that escapes the
+    decode layer (device byte-protocols, user callbacks) must not alias
+    the datagram buffer and must support the full bytes API.
+    """
+    return buf if type(buf) is bytes else bytes(buf)
 
 _TAG_BOOL = 1
 _TAG_INT = 2
@@ -28,10 +69,31 @@ _TAG_BYTES = 5
 
 _MAX_BLOB = 0xFFFF          # single string/bytes value cap (64 KiB)
 _MAX_ATTRS = 0xFFFF
+#: Cap on frames in one batch (same field width as the attribute count).
+MAX_FRAMES = _MAX_ATTRS
+
+# Pre-built single-byte chunks so the scatter-gather writers never
+# allocate for fixed fields.
+_BOOL_CHUNKS = (bytes((_TAG_BOOL, 0)), bytes((_TAG_BOOL, 1)))
+_INT_TAG = bytes((_TAG_INT,))
+_STR_TAG = bytes((_TAG_STR,))
+_BYTES_TAG = bytes((_TAG_BYTES,))
+_FLOAT_STRUCT = struct.Struct("!Bd")
+_FLOAT_BODY = struct.Struct("!d")
+#: One-byte varints (values 0..127) are by far the most common on this
+#: wire (attribute counts, frame counts, small lengths); interning them
+#: keeps the writers allocation-free on the hot path.
+_VARINT_1 = tuple(bytes((b,)) for b in range(0x80))
+
+#: Interned wire bytes -> attribute name (see decode_attr_map).
+_NAME_CACHE: dict[bytes, str] = {}
+_NAME_CACHE_MAX = 4096
 
 
 def encode_varint(value: int) -> bytes:
     """Encode an unsigned integer as LEB128."""
+    if 0 <= value < 0x80:
+        return _VARINT_1[value]
     if value < 0:
         raise CodecError(f"varint requires a non-negative int, got {value}")
     out = bytearray()
@@ -45,7 +107,7 @@ def encode_varint(value: int) -> bytes:
             return bytes(out)
 
 
-def decode_varint(buf: bytes, offset: int = 0) -> tuple[int, int]:
+def decode_varint(buf: Buffer, offset: int = 0) -> tuple[int, int]:
     """Decode a LEB128 unsigned integer; returns (value, new offset)."""
     result = 0
     shift = 0
@@ -72,28 +134,41 @@ def zigzag_decode(value: int) -> int:
     return (value >> 1) ^ -(value & 1)
 
 
-def encode_value(value: Value) -> bytes:
-    """Encode one tagged value."""
+def write_value(out: list[bytes], value: Value) -> None:
+    """Append one tagged value's chunks to ``out`` (no joining)."""
     # bool must be tested before int: bool is an int subclass.
     if isinstance(value, bool):
-        return bytes((_TAG_BOOL, 1 if value else 0))
-    if isinstance(value, int):
-        return bytes((_TAG_INT,)) + encode_varint(zigzag_encode(value))
-    if isinstance(value, float):
-        return bytes((_TAG_FLOAT,)) + struct.pack("!d", value)
-    if isinstance(value, str):
+        out.append(_BOOL_CHUNKS[1 if value else 0])
+    elif isinstance(value, int):
+        out.append(_INT_TAG)
+        out.append(encode_varint(zigzag_encode(value)))
+    elif isinstance(value, float):
+        out.append(_FLOAT_STRUCT.pack(_TAG_FLOAT, value))
+    elif isinstance(value, str):
         raw = value.encode("utf-8")
         if len(raw) > _MAX_BLOB:
             raise CodecError(f"string too long for wire: {len(raw)} bytes")
-        return bytes((_TAG_STR,)) + encode_varint(len(raw)) + raw
-    if isinstance(value, bytes):
+        out.append(_STR_TAG)
+        out.append(encode_varint(len(raw)))
+        out.append(raw)
+    elif isinstance(value, bytes):
         if len(value) > _MAX_BLOB:
             raise CodecError(f"bytes too long for wire: {len(value)} bytes")
-        return bytes((_TAG_BYTES,)) + encode_varint(len(value)) + value
-    raise CodecError(f"unsupported value type: {type(value).__name__}")
+        out.append(_BYTES_TAG)
+        out.append(encode_varint(len(value)))
+        out.append(value)
+    else:
+        raise CodecError(f"unsupported value type: {type(value).__name__}")
 
 
-def decode_value(buf: bytes, offset: int = 0) -> tuple[Value, int]:
+def encode_value(value: Value) -> bytes:
+    """Encode one tagged value."""
+    out: list[bytes] = []
+    write_value(out, value)
+    return out[0] if len(out) == 1 else b"".join(out)
+
+
+def decode_value(buf: Buffer, offset: int = 0) -> tuple[Value, int]:
     """Decode one tagged value; returns (value, new offset)."""
     if offset >= len(buf):
         raise CodecError("truncated value: missing tag")
@@ -106,49 +181,77 @@ def decode_value(buf: bytes, offset: int = 0) -> tuple[Value, int]:
         if raw not in (0, 1):
             raise CodecError(f"invalid bool byte: {raw}")
         return bool(raw), pos + 1
+    # One-byte varints cover almost every length/int on this wire; the
+    # inline fast path skips a function call per value on the hot path.
     if tag == _TAG_INT:
-        encoded, pos = decode_varint(buf, pos)
-        return zigzag_decode(encoded), pos
+        if pos < len(buf) and buf[pos] < 0x80:
+            encoded = buf[pos]
+            pos += 1
+        else:
+            encoded, pos = decode_varint(buf, pos)
+        return (encoded >> 1) ^ -(encoded & 1), pos
     if tag == _TAG_FLOAT:
         if pos + 8 > len(buf):
             raise CodecError("truncated float")
-        (value,) = struct.unpack_from("!d", buf, pos)
+        (value,) = _FLOAT_BODY.unpack_from(buf, pos)
         return value, pos + 8
     if tag == _TAG_STR:
-        length, pos = decode_varint(buf, pos)
+        if pos < len(buf) and buf[pos] < 0x80:
+            length = buf[pos]
+            pos += 1
+        else:
+            length, pos = decode_varint(buf, pos)
         if pos + length > len(buf):
             raise CodecError("truncated string")
         try:
-            return buf[pos:pos + length].decode("utf-8"), pos + length
+            return str(buf[pos:pos + length], "utf-8"), pos + length
         except UnicodeDecodeError as exc:
             raise CodecError(f"invalid UTF-8 in string value: {exc}") from exc
     if tag == _TAG_BYTES:
-        length, pos = decode_varint(buf, pos)
+        if pos < len(buf) and buf[pos] < 0x80:
+            length = buf[pos]
+            pos += 1
+        else:
+            length, pos = decode_varint(buf, pos)
         if pos + length > len(buf):
             raise CodecError("truncated bytes")
+        # The one deliberate copy: bytes values escape into long-lived
+        # Event objects, so they must not alias the datagram buffer.
         return bytes(buf[pos:pos + length]), pos + length
     raise CodecError(f"unknown value tag: {tag}")
 
 
-def encode_str(text: str) -> bytes:
-    """Encode a bare length-prefixed UTF-8 string (no tag)."""
+def write_str(out: list[bytes], text: str) -> None:
+    """Append a bare length-prefixed UTF-8 string's chunks (no tag)."""
     raw = text.encode("utf-8")
     if len(raw) > _MAX_BLOB:
         raise CodecError(f"string too long for wire: {len(raw)} bytes")
-    return encode_varint(len(raw)) + raw
+    out.append(encode_varint(len(raw)))
+    out.append(raw)
 
 
-def decode_str(buf: bytes, offset: int = 0) -> tuple[str, int]:
-    length, pos = decode_varint(buf, offset)
+def encode_str(text: str) -> bytes:
+    """Encode a bare length-prefixed UTF-8 string (no tag)."""
+    out: list[bytes] = []
+    write_str(out, text)
+    return b"".join(out)
+
+
+def decode_str(buf: Buffer, offset: int = 0) -> tuple[str, int]:
+    if offset < len(buf) and buf[offset] < 0x80:   # one-byte length fast path
+        length = buf[offset]
+        pos = offset + 1
+    else:
+        length, pos = decode_varint(buf, offset)
     if pos + length > len(buf):
         raise CodecError("truncated string")
     try:
-        return buf[pos:pos + length].decode("utf-8"), pos + length
+        return str(buf[pos:pos + length], "utf-8"), pos + length
     except UnicodeDecodeError as exc:
         raise CodecError(f"invalid UTF-8: {exc}") from exc
 
 
-def encode_frames(frames: list[bytes]) -> bytes:
+def encode_frames(frames: Sequence[Buffer]) -> bytes:
     """Encode a list of opaque byte frames (batch framing).
 
     The batch publish pipeline coalesces many bus payloads into one
@@ -156,7 +259,7 @@ def encode_frames(frames: list[bytes]) -> bytes:
     prefixed frames.  The frames themselves are opaque here — the bus
     protocol layer decides what they mean.
     """
-    if len(frames) > _MAX_ATTRS:
+    if len(frames) > MAX_FRAMES:
         raise CodecError(f"too many frames in batch: {len(frames)}")
     parts = [encode_varint(len(frames))]
     for frame in frames:
@@ -165,42 +268,142 @@ def encode_frames(frames: list[bytes]) -> bytes:
     return b"".join(parts)
 
 
-def decode_frames(buf: bytes, offset: int = 0) -> tuple[list[bytes], int]:
-    """Decode a batch of frames; returns (frames, new offset)."""
+def decode_frames(buf: Buffer, offset: int = 0) -> tuple[list[Buffer], int]:
+    """Decode a batch of frames; returns (frames, new offset).
+
+    Frames are slices of ``buf`` — zero-copy ``memoryview`` slices when
+    the caller passes a ``memoryview`` — and must be copied by the caller
+    if they outlive the underlying buffer.
+    """
     count, pos = decode_varint(buf, offset)
-    if count > _MAX_ATTRS:
+    if count > MAX_FRAMES:
         raise CodecError(f"frame count too large: {count}")
-    frames: list[bytes] = []
+    frames: list[Buffer] = []
     for _ in range(count):
         length, pos = decode_varint(buf, pos)
         if pos + length > len(buf):
             raise CodecError("truncated frame in batch")
-        frames.append(bytes(buf[pos:pos + length]))
+        frames.append(buf[pos:pos + length])
         pos += length
     return frames, pos
 
 
-def encode_attr_map(attributes: dict[str, Value]) -> bytes:
-    """Encode an attribute dictionary with a stable (sorted) key order."""
+def write_attr_map(out: list[bytes], attributes: Mapping[str, Value]) -> None:
+    """Append an attribute map's chunks with a stable (sorted) key order."""
     if len(attributes) > _MAX_ATTRS:
         raise CodecError(f"too many attributes: {len(attributes)}")
-    parts = [encode_varint(len(attributes))]
+    out.append(encode_varint(len(attributes)))
     for name in sorted(attributes):
         if not name:
             raise CodecError("attribute names must be non-empty")
-        parts.append(encode_str(name))
-        parts.append(encode_value(attributes[name]))
-    return b"".join(parts)
+        write_str(out, name)
+        write_value(out, attributes[name])
 
 
-def decode_attr_map(buf: bytes, offset: int = 0) -> tuple[dict[str, Value], int]:
+def encode_attr_map(attributes: Mapping[str, Value]) -> bytes:
+    """Encode an attribute dictionary with a stable (sorted) key order."""
+    out: list[bytes] = []
+    write_attr_map(out, attributes)
+    return b"".join(out)
+
+
+def decode_attr_map(buf: Buffer, offset: int = 0) -> tuple[dict[str, Value], int]:
+    """Decode an attribute map.
+
+    Enforces the canonical-form constraints the encoder guarantees
+    (non-empty names, no duplicates), so decoded maps can back an event
+    without re-validation.
+    """
     count, pos = decode_varint(buf, offset)
     if count > _MAX_ATTRS:
         raise CodecError(f"attribute count too large: {count}")
     attributes: dict[str, Value] = {}
+    size = len(buf)
     for _ in range(count):
-        name, pos = decode_str(buf, pos)
-        value, pos = decode_value(buf, pos)
+        # Inlined decode_str: one short name per attribute is the hottest
+        # token on the whole decode path.
+        if pos < size and buf[pos] < 0x80:
+            length = buf[pos]
+            pos += 1
+        else:
+            length, pos = decode_varint(buf, pos)
+        end = pos + length
+        if end > size:
+            raise CodecError("truncated string")
+        # Interned names: a deployment's attribute vocabulary is small
+        # and every event repeats it, so the cache skips the UTF-8
+        # decode and validation, and identity-equal names make the
+        # matching tables' dict lookups cheap.  Cached names are never
+        # empty; bounded so name churn cannot grow it without limit.
+        raw_name = buf[pos:end]
+        if type(raw_name) is not bytes:
+            raw_name = bytes(raw_name)
+        name = _NAME_CACHE.get(raw_name)
+        if name is None:
+            try:
+                name = str(raw_name, "utf-8")
+            except UnicodeDecodeError as exc:
+                raise CodecError(f"invalid UTF-8: {exc}") from exc
+            if not name:
+                raise CodecError("empty attribute name on wire")
+            if len(_NAME_CACHE) >= _NAME_CACHE_MAX:
+                _NAME_CACHE.clear()
+            _NAME_CACHE[raw_name] = name
+        # Fully inlined decode_value dispatch (the differential suite in
+        # tests/transport/test_zero_copy.py pins equivalence with
+        # decode_value); the per-value call overhead is the
+        # second-hottest token on the event decode path.
+        pos = end
+        if pos >= size:
+            raise CodecError("truncated value: missing tag")
+        tag = buf[pos]
+        pos += 1
+        if tag == _TAG_INT:
+            if pos < size and buf[pos] < 0x80:
+                encoded = buf[pos]
+                pos += 1
+            else:
+                encoded, pos = decode_varint(buf, pos)
+            value: Value = (encoded >> 1) ^ -(encoded & 1)
+        elif tag == _TAG_FLOAT:
+            if pos + 8 > size:
+                raise CodecError("truncated float")
+            value = _FLOAT_BODY.unpack_from(buf, pos)[0]
+            pos += 8
+        elif tag == _TAG_STR:
+            if pos < size and buf[pos] < 0x80:
+                vlen = buf[pos]
+                pos += 1
+            else:
+                vlen, pos = decode_varint(buf, pos)
+            if pos + vlen > size:
+                raise CodecError("truncated string")
+            try:
+                value = str(buf[pos:pos + vlen], "utf-8")
+            except UnicodeDecodeError as exc:
+                raise CodecError(
+                    f"invalid UTF-8 in string value: {exc}") from exc
+            pos += vlen
+        elif tag == _TAG_BYTES:
+            if pos < size and buf[pos] < 0x80:
+                vlen = buf[pos]
+                pos += 1
+            else:
+                vlen, pos = decode_varint(buf, pos)
+            if pos + vlen > size:
+                raise CodecError("truncated bytes")
+            value = bytes(buf[pos:pos + vlen])
+            pos += vlen
+        elif tag == _TAG_BOOL:
+            if pos >= size:
+                raise CodecError("truncated bool")
+            raw = buf[pos]
+            if raw not in (0, 1):
+                raise CodecError(f"invalid bool byte: {raw}")
+            value = raw == 1
+            pos += 1
+        else:
+            raise CodecError(f"unknown value tag: {tag}")
         if name in attributes:
             raise CodecError(f"duplicate attribute on wire: {name!r}")
         attributes[name] = value

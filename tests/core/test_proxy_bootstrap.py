@@ -376,3 +376,68 @@ class TestBatchFrames:
         endpoint.send_reliable("core", protocol.frame_batch([inner]))
         sim.run_until_idle()
         assert kit.bus.proxy_of(member).stats.malformed_payloads == 1
+
+
+class TestFanOutEncodeMemo:
+    """PR 5: dispatch TLV-encodes each matched event exactly once however
+    many proxies the fan-out reaches (the DeliverMemo), and the shared
+    payload is byte-identical to the per-proxy encoding it replaced."""
+
+    def count_encodes(self, monkeypatch):
+        """Count every event framing through the protocol layer."""
+        counter = {"n": 0}
+        real = protocol.event_frame_parts
+
+        def counting(op, event):
+            counter["n"] += 1
+            return real(op, event)
+
+        monkeypatch.setattr(protocol, "event_frame_parts", counting)
+        return counter
+
+    def fan_out(self, kit, n):
+        clients, inboxes = [], []
+        for i in range(n):
+            client = kit.client(f"sub-{i}")
+            got = []
+            client.subscribe(Filter.where("t"), got.append)
+            clients.append(client)
+            inboxes.append(got)
+        kit.sim.run_until_idle()
+        return clients, inboxes
+
+    def test_single_event_encoded_once_for_n_proxies(self, kit, sim,
+                                                     monkeypatch):
+        _, inboxes = self.fan_out(kit, 8)
+        counter = self.count_encodes(monkeypatch)
+        kit.bus.local_publisher("svc").publish("t", {"v": 1})
+        sim.run_until_idle()
+        assert all(len(got) == 1 for got in inboxes)
+        assert all(got[0].get("v") == 1 for got in inboxes)
+        assert counter["n"] == 1      # one TLV encode for 8 subscribers
+
+    def test_batch_encoded_once_per_event(self, kit, sim, monkeypatch):
+        _, inboxes = self.fan_out(kit, 5)
+        counter = self.count_encodes(monkeypatch)
+        kit.bus.local_publisher("svc").publish_batch(
+            [("t", {"n": i}) for i in range(7)])
+        sim.run_until_idle()
+        assert all([e.get("n") for e in got] == list(range(7))
+                   for got in inboxes)
+        assert counter["n"] == 7      # once per event, not per subscriber
+
+    def test_translating_proxy_still_encodes_per_member(self, kit, sim,
+                                                        monkeypatch):
+        # A SensorProxy's outbound bytes are per-device translations; the
+        # memo must not short-circuit them.
+        kit.bootstrap.register_translator(HeartRateProtocol("p-1"))
+        endpoint = kit.device_endpoint("hr-dev")
+        member = kit.admit(endpoint, name="hr", device_type="sensor.hr")
+        proxy = kit.bus.proxy_of(member)
+        assert proxy.shared_outbound is False
+        counter = self.count_encodes(monkeypatch)
+        kit.bus.local_publisher("svc").publish(
+            "smc.cmd.set_threshold", {"value": 80})
+        sim.run_until_idle()
+        assert proxy.stats.commands_translated == 1
+        assert counter["n"] == 0      # translated, not DELIVER-framed

@@ -1,0 +1,430 @@
+"""Zero-copy wire path: golden byte-identity and buffer-protocol decode.
+
+Two invariants pin the PR 5 refactor:
+
+* **Golden bytes** — the scatter-gather encoders (chunk lists joined once
+  at the reliable-payload boundary) must produce byte-identical output to
+  the pre-refactor encoders, reimplemented here verbatim as the
+  reference.  The wire format is pinned by deployed decoders (the SACK
+  compat suite makes the same promise one layer down), so "faster" must
+  never mean "different".
+* **Buffer-protocol decode** — every decode entry point accepts
+  ``bytes``, ``bytearray`` and mid-buffer ``memoryview`` slices and
+  yields equal values at equal offsets, with ``bytes``/``str`` values
+  materialised (never aliasing the input buffer).
+"""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import protocol
+from repro.core.events import Event, decode_event, encode_event
+from repro.core.protocol import BusOp
+from repro.errors import CodecError
+from repro.ids import ServiceId, service_id_from_name
+from repro.transport import wire
+from repro.transport.packets import Packet, PacketFlags, PacketType
+
+SENDER = service_id_from_name("zero-copy")
+
+
+# -- reference implementations (pre-refactor, copied verbatim) --------------
+
+def ref_encode_varint(value):
+    if value < 0:
+        raise CodecError("negative")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def ref_encode_value(value):
+    if isinstance(value, bool):
+        return bytes((1, 1 if value else 0))
+    if isinstance(value, int):
+        zz = (value << 1) ^ (value >> (value.bit_length() + 1)) \
+            if value < 0 else value << 1
+        return bytes((2,)) + ref_encode_varint(zz)
+    if isinstance(value, float):
+        return bytes((3,)) + struct.pack("!d", value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return bytes((4,)) + ref_encode_varint(len(raw)) + raw
+    if isinstance(value, bytes):
+        return bytes((5,)) + ref_encode_varint(len(value)) + value
+    raise CodecError("unsupported")
+
+
+def ref_encode_str(text):
+    raw = text.encode("utf-8")
+    return ref_encode_varint(len(raw)) + raw
+
+
+def ref_encode_attr_map(attributes):
+    parts = [ref_encode_varint(len(attributes))]
+    for name in sorted(attributes):
+        parts.append(ref_encode_str(name))
+        parts.append(ref_encode_value(attributes[name]))
+    return b"".join(parts)
+
+
+def ref_encode_frames(frames):
+    parts = [ref_encode_varint(len(frames))]
+    for frame in frames:
+        parts.append(ref_encode_varint(len(frame)))
+        parts.append(frame)
+    return b"".join(parts)
+
+
+def ref_encode_event(event):
+    return b"".join((
+        ref_encode_str(event.type),
+        event.sender.to_bytes48(),
+        ref_encode_varint(event.seqno),
+        struct.pack("!d", event.timestamp),
+        ref_encode_attr_map(dict(event.attributes)),
+    ))
+
+
+def ref_frame(op, body=b""):
+    return bytes((int(op),)) + body
+
+
+def ref_chunk_frames(frames, max_bytes=protocol.BATCH_FLUSH_BYTES):
+    payloads, pending, pending_size = [], [], 0
+
+    def flush():
+        nonlocal pending, pending_size
+        if not pending:
+            return
+        if len(pending) == 1:
+            payloads.append(pending[0])
+        else:
+            payloads.append(ref_frame(BusOp.BATCH, ref_encode_frames(pending)))
+        pending, pending_size = [], 0
+
+    for framed in frames:
+        if pending and pending_size + len(framed) > max_bytes:
+            flush()
+        pending.append(framed)
+        pending_size += len(framed)
+    flush()
+    return payloads
+
+
+_HEADER = struct.Struct("!2sBBB6sIIHI")
+
+
+def ref_packet_encode(packet):
+    import zlib
+    payload = packet.payload
+    if packet.sack:
+        block = [bytes((len(packet.sack),))]
+        block.extend(struct.pack("!II", s, e) for s, e in packet.sack)
+        payload = b"".join(block) + bytes(payload)
+    else:
+        payload = bytes(payload)
+    header_no_crc = _HEADER.pack(
+        b"\xa5\x5e", packet.version, int(packet.type), int(packet.flags),
+        packet.sender.to_bytes48(), packet.seq, packet.ack, len(payload), 0)
+    crc = zlib.crc32(header_no_crc + payload) & 0xFFFFFFFF
+    header = _HEADER.pack(
+        b"\xa5\x5e", packet.version, int(packet.type), int(packet.flags),
+        packet.sender.to_bytes48(), packet.seq, packet.ack, len(payload), crc)
+    return header + payload
+
+
+# -- corpus ------------------------------------------------------------------
+
+VALUES = [True, False, 0, 1, -1, 127, 128, -300, 2 ** 40, -(2 ** 40),
+          0.0, -2.5, 1e300, "", "hello", "héllo ☃", b"", b"\x00\xff",
+          b"x" * 5000]
+
+EVENTS = [
+    Event("t", {}, SENDER, 1, 0.0),
+    Event("vitals.hr", {"hr": 72, "patient": "p-1", "alarm": False},
+          SENDER, 2, 1.25),
+    Event("bench.payload", {"data": b"x" * 5000, "seq": 42}, SENDER, 3, 2.5),
+    Event("attrs.heavy",
+          {f"attr_{i:02d}": [True, i, float(i), f"v-{i}", bytes((i,)) * 9][i % 5]
+           for i in range(25)},
+          SENDER, 300, 17.75),
+]
+
+values_strategy = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(2 ** 63), max_value=2 ** 63),
+    st.floats(allow_nan=False),
+    st.text(max_size=60),
+    st.binary(max_size=60),
+)
+
+attrs_strategy = st.dictionaries(st.text(min_size=1, max_size=16),
+                                 values_strategy, max_size=10)
+
+
+def buffer_forms(encoded: bytes):
+    """The three buffer shapes every decoder must accept: bytes,
+    bytearray, and a mid-buffer memoryview slice."""
+    padded = b"\xaa" * 3 + encoded + b"\xbb" * 2
+    return [encoded, bytearray(encoded),
+            memoryview(padded)[3:3 + len(encoded)]]
+
+
+# -- golden byte-identity ----------------------------------------------------
+
+class TestGoldenBytes:
+    @pytest.mark.parametrize("value", VALUES)
+    def test_value_encoding_unchanged(self, value):
+        assert wire.encode_value(value) == ref_encode_value(value)
+
+    def test_varint_encoding_unchanged(self):
+        for v in (0, 1, 127, 128, 300, 2 ** 32, 2 ** 60):
+            assert wire.encode_varint(v) == ref_encode_varint(v)
+
+    def test_str_encoding_unchanged(self):
+        for text in ("", "x", "unicode: ☃", "y" * 300):
+            assert wire.encode_str(text) == ref_encode_str(text)
+
+    @pytest.mark.parametrize("event", EVENTS)
+    def test_event_encoding_unchanged(self, event):
+        assert encode_event(event) == ref_encode_event(event)
+
+    @pytest.mark.parametrize("event", EVENTS)
+    def test_frame_parts_join_to_reference(self, event):
+        ref = ref_frame(BusOp.DELIVER, ref_encode_event(event))
+        assert b"".join(protocol.deliver_parts(event)) == ref
+        assert protocol.deliver_frame(event) == ref
+        ref_pub = ref_frame(BusOp.PUBLISH, ref_encode_event(event))
+        assert b"".join(protocol.publish_parts(event)) == ref_pub
+
+    def test_attr_map_encoding_unchanged(self):
+        attrs = {"z": 1, "a": -5.5, "m": b"\x00", "s": "x", "b": True}
+        assert wire.encode_attr_map(attrs) == ref_encode_attr_map(attrs)
+
+    def test_frames_encoding_unchanged(self):
+        frames = [b"", b"a", b"\x01\x02\x03", b"x" * 300]
+        assert wire.encode_frames(frames) == ref_encode_frames(frames)
+
+    @pytest.mark.parametrize("max_bytes", [100, 250, 32 * 1024])
+    def test_chunk_frames_unchanged_for_bytes_and_parts(self, max_bytes):
+        frames = [ref_frame(BusOp.PUBLISH, ref_encode_event(e))
+                  for e in EVENTS] * 3
+        expected = ref_chunk_frames(frames, max_bytes)
+        # Pre-joined bytes frames…
+        assert protocol.chunk_frames(frames, max_bytes) == expected
+        # …and scatter-gather chunk lists produce identical payloads.
+        parts = [protocol.publish_parts(e) for e in EVENTS] * 3
+        assert protocol.chunk_frames(parts, max_bytes) == expected
+
+    def test_packet_encoding_unchanged(self):
+        packets = [
+            Packet(type=PacketType.DATA, sender=SENDER, seq=9, ack=3,
+                   payload=b"y" * 1400),
+            Packet(type=PacketType.ACK, sender=SENDER, seq=0, ack=17,
+                   sack=((19, 20), (25, 40))),
+            Packet(type=PacketType.RAW, sender=SENDER,
+                   payload=b"z", flags=PacketFlags.NO_ACK),
+            Packet(type=PacketType.DATA, sender=SENDER, seq=2 ** 32 - 1,
+                   ack=2 ** 32 - 1, payload=b""),
+        ]
+        for packet in packets:
+            assert packet.encode() == ref_packet_encode(packet)
+
+    @given(attrs_strategy, st.integers(min_value=0, max_value=2 ** 32),
+           st.floats(allow_nan=False, allow_infinity=False))
+    def test_event_encoding_unchanged_property(self, attrs, seqno, ts):
+        attrs.pop("type", None)
+        event = Event("prop.event", attrs, SENDER, seqno, ts)
+        assert encode_event(event) == ref_encode_event(event)
+
+
+# -- buffer-protocol decode --------------------------------------------------
+
+class TestBufferProtocolDecode:
+    @pytest.mark.parametrize("value", VALUES)
+    def test_decode_value_any_buffer(self, value):
+        encoded = wire.encode_value(value)
+        for buf in buffer_forms(encoded):
+            decoded, pos = wire.decode_value(buf)
+            assert decoded == value
+            assert type(decoded) is type(value)
+            assert pos == len(encoded)
+
+    def test_decode_varint_any_buffer_and_offset(self):
+        encoded = b"\xff" + wire.encode_varint(300)
+        for buf in buffer_forms(encoded):
+            assert wire.decode_varint(buf, 1) == (300, len(encoded))
+
+    def test_decode_str_any_buffer(self):
+        encoded = wire.encode_str("héllo ☃")
+        for buf in buffer_forms(encoded):
+            text, pos = wire.decode_str(buf)
+            assert text == "héllo ☃"
+            assert pos == len(encoded)
+
+    def test_decode_attr_map_any_buffer(self):
+        attrs = {"hr": 72.5, "p": "x", "raw": b"\x01\x02", "n": -9, "b": True}
+        encoded = wire.encode_attr_map(attrs)
+        for buf in buffer_forms(encoded):
+            decoded, pos = wire.decode_attr_map(buf)
+            assert decoded == attrs
+            assert pos == len(encoded)
+            assert type(decoded["raw"]) is bytes      # materialised, not a view
+            assert type(decoded["p"]) is str
+
+    def test_decode_frames_any_buffer(self):
+        frames = [b"", b"a", b"\x01\x02\x03", b"x" * 300]
+        encoded = wire.encode_frames(frames)
+        for buf in buffer_forms(encoded):
+            decoded, pos = wire.decode_frames(buf)
+            assert [bytes(f) for f in decoded] == frames
+            assert pos == len(encoded)
+
+    @pytest.mark.parametrize("event", EVENTS)
+    def test_decode_event_any_buffer(self, event):
+        encoded = encode_event(event)
+        for buf in buffer_forms(encoded):
+            decoded, pos = decode_event(buf)
+            assert decoded == event
+            assert decoded.timestamp == event.timestamp
+            assert pos == len(encoded)
+            for name, value in event.attributes.items():
+                assert type(decoded.attributes[name]) is type(value)
+
+    def test_decode_event_mid_buffer_offset(self):
+        event = EVENTS[1]
+        encoded = encode_event(event)
+        padded = b"\x00" * 7 + encoded + b"\xff" * 4
+        for buf in (padded, bytearray(padded), memoryview(padded)):
+            decoded, pos = decode_event(buf, 7)
+            assert decoded == event
+            assert pos == 7 + len(encoded)
+
+    def test_unframe_and_parse_batch_any_buffer(self):
+        frames = [protocol.frame(BusOp.PUBLISH, encode_event(e))
+                  for e in EVENTS]
+        payload = protocol.frame_batch(frames)
+        for buf in buffer_forms(payload):
+            op, body = protocol.unframe(buf)
+            assert op == BusOp.BATCH
+            parsed = protocol.parse_batch(body)
+            assert [bytes(f) for f in parsed] == frames
+            for framed, event in zip(parsed, EVENTS):
+                sub_op, sub_body = protocol.unframe(framed)
+                assert sub_op == BusOp.PUBLISH
+                assert decode_event(sub_body)[0] == event
+
+    def test_parse_quench_and_unsubscribe_any_buffer(self):
+        quench = protocol.frame_quench(True)
+        unsub = protocol.frame_unsubscribe(77)
+        for buf in buffer_forms(quench):
+            assert protocol.parse_quench(protocol.unframe(buf)[1]) is True
+        for buf in buffer_forms(unsub):
+            assert protocol.parse_unsubscribe(protocol.unframe(buf)[1]) == 77
+
+    def test_packet_decode_any_buffer(self):
+        packet = Packet(type=PacketType.DATA, sender=SENDER, seq=5, ack=2,
+                        payload=b"payload" * 40, sack=((7, 9),))
+        datagram = packet.encode()
+        for buf in (datagram, bytearray(datagram), memoryview(datagram)):
+            decoded = Packet.decode(buf)
+            assert decoded == packet
+            assert bytes(decoded.payload) == packet.payload
+            assert decoded.sack == packet.sack
+
+    @given(attrs_strategy, st.integers(min_value=0, max_value=2 ** 32))
+    def test_event_roundtrip_property_all_buffers(self, attrs, seqno):
+        attrs.pop("type", None)
+        event = Event("prop.rt", attrs, SENDER, seqno, 3.5)
+        encoded = encode_event(event)
+        reference, _ = decode_event(encoded)
+        for buf in buffer_forms(encoded):
+            decoded, pos = decode_event(buf)
+            assert pos == len(encoded)
+            assert decoded == reference
+            for name in attrs:
+                assert type(decoded.attributes[name]) is type(
+                    reference.attributes[name])
+
+
+# -- decode strictness carried from the encoder's constraints ---------------
+
+class TestDecodeStrictness:
+    def test_empty_event_type_rejected(self):
+        body = (wire.encode_str("") + SENDER.to_bytes48()
+                + wire.encode_varint(1) + struct.pack("!d", 0.0)
+                + wire.encode_attr_map({}))
+        with pytest.raises(CodecError):
+            decode_event(body)
+
+    def test_empty_attr_name_rejected(self):
+        body = (wire.encode_varint(1) + wire.encode_str("")
+                + wire.encode_value(1))
+        with pytest.raises(CodecError):
+            wire.decode_attr_map(body)
+
+    def test_truncated_event_rejected_from_any_buffer(self):
+        encoded = encode_event(EVENTS[2])
+        for cut in (1, 10, len(encoded) - 1):
+            for buf in buffer_forms(encoded[:cut]):
+                with pytest.raises(CodecError):
+                    decode_event(buf)
+
+
+# -- count_publications: varint walk vs the materialising oracle ------------
+
+def oracle_count(payload):
+    payload = bytes(payload)
+    if not payload:
+        return 0
+    if payload[0] == BusOp.PUBLISH:
+        return 1
+    if payload[0] == BusOp.BATCH:
+        try:
+            frames, pos = wire.decode_frames(payload, 1)
+            if pos != len(payload):
+                raise CodecError("trailing")
+        except CodecError:
+            return 0
+        return sum(1 for f in frames if bytes(f[:1]) == bytes((BusOp.PUBLISH,)))
+    return 0
+
+
+class TestCountPublications:
+    def payloads(self):
+        publish = protocol.frame(BusOp.PUBLISH, encode_event(EVENTS[0]))
+        deliver = protocol.frame(BusOp.DELIVER, encode_event(EVENTS[0]))
+        batch = protocol.frame_batch([publish, deliver, publish, b"\x01"])
+        return [
+            b"",
+            publish,
+            deliver,
+            batch,
+            protocol.frame_batch([]),
+            protocol.frame_batch([b"", publish]),      # empty frame in batch
+            batch[:-3],                                # truncated
+            batch + b"\x00",                           # trailing bytes
+            protocol.frame(BusOp.BATCH, b"\xff\xff\xff\xff\xff"),  # bad varint
+            protocol.frame(BusOp.BATCH, wire.encode_varint(10 ** 9)),
+        ]
+
+    def test_matches_oracle_without_materialising(self):
+        for payload in self.payloads():
+            for buf in buffer_forms(payload):
+                assert protocol.count_publications(buf) == \
+                    oracle_count(payload), payload
+
+    @given(st.lists(st.binary(max_size=40), max_size=12))
+    def test_matches_oracle_property(self, frames):
+        payload = protocol.frame_batch(frames)
+        assert protocol.count_publications(payload) == oracle_count(payload)
