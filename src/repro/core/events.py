@@ -38,6 +38,9 @@ PURGE_MEMBER_TYPE = "smc.member.purge"
 MEMBER_SILENT_TYPE = "smc.member.silent"
 #: A silent member was heard from again before the purge timeout.
 MEMBER_RECOVERED_TYPE = "smc.member.recovered"
+#: A member re-announced (or heartbeated) from a new transport address:
+#: it roamed.  Queued deliveries were migrated to the new address.
+MEMBER_MOVED_TYPE = "smc.member.moved"
 #: Prefix for management command events the policy service emits.
 COMMAND_TYPE_PREFIX = "smc.cmd."
 #: Policy service lifecycle events.

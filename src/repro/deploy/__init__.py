@@ -1,0 +1,33 @@
+"""Deployment mode: the cell on real UDP sockets and wall-clock time.
+
+* :mod:`repro.deploy.server` — :class:`CellServer`, the assembled cell on
+  a :class:`~repro.sim.kernel.RealtimeScheduler` with fd-registered
+  sockets, directed beacons, edge admission/backpressure and a healthz
+  surface.
+* :mod:`repro.deploy.harness` — :class:`LoopbackDevice`, the device half,
+  joined by rendezvous.
+* :mod:`repro.deploy.edge` — :class:`CapacityAuthenticator` and
+  :class:`BackpressureGuard`, the edge controls.
+* :mod:`repro.deploy.healthz` — the loopback TCP stats endpoint.
+"""
+
+from repro.deploy.edge import (
+    BackpressureGuard,
+    CapacityAuthenticator,
+    EdgeStats,
+)
+from repro.deploy.harness import LoopbackDevice, make_devices
+from repro.deploy.healthz import HealthzEndpoint, read_healthz
+from repro.deploy.server import CellServer, ServerConfig
+
+__all__ = [
+    "BackpressureGuard",
+    "CapacityAuthenticator",
+    "CellServer",
+    "EdgeStats",
+    "HealthzEndpoint",
+    "LoopbackDevice",
+    "ServerConfig",
+    "make_devices",
+    "read_healthz",
+]

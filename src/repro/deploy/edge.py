@@ -1,0 +1,148 @@
+"""Edge admission and backpressure for a deployed cell.
+
+A cell on real sockets faces two loads the simulated testbed never
+produced: more devices than it was sized for, and members that accept
+deliveries slower than the bus produces them.  Both are handled at the
+edge, before they can distort the core:
+
+* :class:`CapacityAuthenticator` bounds membership — ANNOUNCEs beyond the
+  configured capacity are NAKed (the device backs off and retries), so an
+  overload never gets past admission.
+* :class:`BackpressureGuard` bounds per-peer outbound state — a periodic
+  sweep measures every member channel's unacknowledged backlog, sends a
+  quench advisory to a member whose queue is growing (pausing its
+  publishing while its inbound side drains), and sheds the oldest
+  untransmitted payloads past a hard bound
+  (:meth:`~repro.transport.reliability.ReliableChannel.shed_backlog`), so
+  one stalled PDA cannot hold the cell's memory hostage.
+
+The guard is quench-aware in both directions: it never duplicates an
+advisory the bus's own :class:`~repro.core.quench.QuenchController`
+already issued, and it wakes only members it quenched itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bus import EventBus
+from repro.discovery.auth import Authenticator
+from repro.discovery.membership import MembershipTable
+from repro.discovery.messages import AnnounceBody
+from repro.errors import ConfigurationError
+from repro.ids import ServiceId
+from repro.transport.endpoint import PacketEndpoint
+
+
+@dataclass
+class EdgeStats:
+    sweeps: int = 0
+    capacity_rejections: int = 0
+    quench_advisories: int = 0
+    wake_advisories: int = 0
+    payloads_shed: int = 0
+
+
+class CapacityAuthenticator:
+    """Admission control: NAK announcements beyond the member capacity.
+
+    Wraps the cell's configured authenticator; the capacity check runs
+    first so a full cell never spends authentication work on a device it
+    cannot seat.  The membership table is bound after the cell is built
+    (the table lives inside :class:`~repro.discovery.service.DiscoveryService`,
+    which is constructed with the authenticator already in hand).
+    """
+
+    def __init__(self, max_members: int, inner: Authenticator | None = None,
+                 stats: EdgeStats | None = None) -> None:
+        if max_members < 1:
+            raise ConfigurationError(
+                f"max_members must be >= 1, got {max_members}")
+        self.max_members = max_members
+        self.inner = inner
+        self.stats = stats if stats is not None else EdgeStats()
+        self.table: MembershipTable | None = None
+
+    def bind_table(self, table: MembershipTable) -> None:
+        self.table = table
+
+    def authenticate(self, member_id: ServiceId,
+                     announce: AnnounceBody) -> tuple[bool, str]:
+        if self.table is not None and len(self.table) >= self.max_members:
+            self.stats.capacity_rejections += 1
+            return False, "cell at member capacity"
+        if self.inner is not None:
+            return self.inner.authenticate(member_id, announce)
+        return True, "ok"
+
+
+class BackpressureGuard:
+    """Per-peer outbound backlog bounds, swept periodically.
+
+    ``quench_backlog`` (advisory) and ``shed_backlog`` (hard bound) are
+    counts of unacknowledged payloads on the member's channel;
+    ``wake_backlog`` is the level below which an edge-issued quench is
+    lifted (hysteresis: wake < quench).
+    """
+
+    def __init__(self, bus: EventBus, endpoint: PacketEndpoint, *,
+                 quench_backlog: int = 64, wake_backlog: int = 16,
+                 shed_backlog: int = 256,
+                 stats: EdgeStats | None = None) -> None:
+        if not 0 < wake_backlog < quench_backlog <= shed_backlog:
+            raise ConfigurationError(
+                "backlog bounds must satisfy 0 < wake < quench <= shed, "
+                f"got wake={wake_backlog} quench={quench_backlog} "
+                f"shed={shed_backlog}")
+        self.bus = bus
+        self.endpoint = endpoint
+        self.quench_backlog = quench_backlog
+        self.wake_backlog = wake_backlog
+        self.shed_backlog = shed_backlog
+        self.stats = stats if stats is not None else EdgeStats()
+        self._edge_quenched: set[ServiceId] = set()
+
+    def sweep(self) -> None:
+        """One backpressure round over every member channel."""
+        self.stats.sweeps += 1
+        members = set(self.bus.members())
+        # Members purged since the last sweep took their channels (and any
+        # edge quench) with them.
+        self._edge_quenched &= members
+        for member in members:
+            proxy = self.bus.proxy_of(member)
+            channel = self.endpoint.existing_channel(proxy.member_address)
+            backlog = channel.unacked_count() if channel is not None else 0
+            if backlog >= self.quench_backlog:
+                self._quench(member, proxy)
+            elif backlog <= self.wake_backlog:
+                self._wake(member, proxy)
+            if channel is not None and backlog > self.shed_backlog:
+                # Trim the untransmitted tail; in-flight packets stay (the
+                # send window bounds them already).
+                self.stats.payloads_shed += channel.shed_backlog(
+                    self.shed_backlog)
+
+    def edge_quenched(self) -> set[ServiceId]:
+        """Members currently quenched by the edge (not by the bus)."""
+        return set(self._edge_quenched)
+
+    def _quench(self, member: ServiceId, proxy) -> None:
+        if member in self._edge_quenched:
+            return
+        if (self.bus.quench is not None
+                and self.bus.quench.is_quenched(member)):
+            return          # the bus already told it to stop
+        proxy.send_quench(True)
+        self._edge_quenched.add(member)
+        self.stats.quench_advisories += 1
+
+    def _wake(self, member: ServiceId, proxy) -> None:
+        if member not in self._edge_quenched:
+            return
+        self._edge_quenched.discard(member)
+        if (self.bus.quench is not None
+                and self.bus.quench.is_quenched(member)):
+            return          # the bus still wants it quiet; don't wake
+        proxy.send_quench(False)
+        self.stats.wake_advisories += 1

@@ -1,0 +1,114 @@
+"""Client-side harness for deployed cells: one device on real sockets.
+
+A :class:`LoopbackDevice` is the device half of deployment mode — the
+stack a real sensor or PDA application would run (UdpTransport →
+PacketEndpoint → DiscoveryAgent + BusClient), assembled onto the same
+:class:`~repro.sim.kernel.RealtimeScheduler` so one selector loop drives
+any number of devices alongside (or across the loopback from) a
+:class:`~repro.deploy.server.CellServer`.
+
+Devices join by rendezvous (:meth:`~repro.discovery.agent.DiscoveryAgent.
+announce_to` at the server's unicast address) because loopback has no
+broadcast domain; once admitted, the server's directed beacons keep the
+agent's out-of-range watchdog fed, and the BusClient is pointed at the
+core automatically on JOIN_ACK.
+
+This is what the localhost benchmark and the CI smoke job drive by the
+hundred.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.client import BusClient
+from repro.core.events import Event
+from repro.discovery.agent import AgentConfig, DiscoveryAgent
+from repro.matching.filters import Filter
+from repro.sim.kernel import RealtimeScheduler
+from repro.transport.base import Address
+from repro.transport.endpoint import PacketEndpoint
+from repro.transport.udp import UdpTransport
+
+
+class LoopbackDevice:
+    """One device-side stack on real UDP, joined by rendezvous."""
+
+    def __init__(self, scheduler: RealtimeScheduler, core_address: Address,
+                 config: AgentConfig, bind_host: str = "127.0.0.1",
+                 window: int | None = None) -> None:
+        self.scheduler = scheduler
+        self.core_address = core_address
+        # Devices never bind the discovery port — beacons arrive directed
+        # at the unicast socket.
+        self.transport = UdpTransport(bind_host=bind_host,
+                                      listen_for_broadcast=False)
+        endpoint_kwargs = {} if window is None else {"window": window}
+        self.endpoint = PacketEndpoint(self.transport, scheduler,
+                                       **endpoint_kwargs)
+        self.agent = DiscoveryAgent(self.endpoint, scheduler, config)
+        self.client = BusClient(self.endpoint, scheduler, bus_address=None)
+        self.agent.on_joined = self._on_joined
+        self._registered = False
+
+    def _on_joined(self, _cell_name: str, core_address: Address) -> None:
+        self.client.bus_address = core_address
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Register the socket and announce at the rendezvous address."""
+        if not self._registered:
+            self.scheduler.register_pollables(self.transport.pollables())
+            self._registered = True
+        self.agent.announce_to(self.core_address)
+
+    def leave(self) -> None:
+        """Politely LEAVE the cell (the agent stays constructed)."""
+        self.agent.stop()
+        self.client.bus_address = None
+
+    def close(self) -> None:
+        self.agent.stop()
+        if self._registered:
+            for pollable in self.transport.pollables():
+                self.scheduler.unregister_pollable(pollable)
+            self._registered = False
+        self.transport.close()
+
+    # -- conveniences --------------------------------------------------------
+
+    @property
+    def joined(self) -> bool:
+        return self.agent.joined
+
+    @property
+    def name(self) -> str:
+        return self.agent.config.name
+
+    @property
+    def service_id(self) -> int:
+        return self.endpoint.service_id
+
+    def publish(self, event_type: str, attributes: dict | None = None):
+        return self.client.publish(event_type, attributes)
+
+    def subscribe(self, filters: Filter,
+                  callback: Callable[[Event], None]) -> int:
+        return self.client.subscribe(filters, callback)
+
+
+def make_devices(scheduler: RealtimeScheduler, core_address: Address,
+                 count: int, *, device_type: str = "service",
+                 name_prefix: str = "dev",
+                 announce_retry_s: float = 0.2,
+                 beacon_timeout_s: float = 10.0) -> list[LoopbackDevice]:
+    """Build ``count`` devices aimed at one cell (benchmark/CI helper)."""
+    return [
+        LoopbackDevice(scheduler, core_address,
+                       AgentConfig(name=f"{name_prefix}-{index}",
+                                   device_type=device_type,
+                                   announce_retry_s=announce_retry_s,
+                                   beacon_timeout_s=beacon_timeout_s))
+        for index in range(count)
+    ]

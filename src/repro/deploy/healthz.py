@@ -1,0 +1,127 @@
+"""Local healthz/stats surface for a deployed cell.
+
+A tiny TCP listener on loopback that answers every connection with one
+JSON snapshot of the cell (HTTP/1.0 framing so ``curl`` and load-balancer
+probes work) and closes.  It never reads the request — the surface is a
+"connect and read" diagnostic port, which keeps it a pure
+:class:`~repro.sim.kernel.Pollable`: the listening socket registers with
+the :class:`~repro.sim.kernel.RealtimeScheduler` selector next to the UDP
+sockets, and each accept/respond runs inside the same single-threaded run
+loop as the protocol stack, so a snapshot is always internally consistent
+(no counters torn mid-update).
+
+The snapshot itself is produced by a caller-supplied callable — the
+server layer decides what "health" means (members, BusStats,
+ChannelStats, shard loads, autonomic audit tail); this module only moves
+the bytes.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import socket
+from typing import Callable
+
+from repro.errors import TransportError
+
+SnapshotFn = Callable[[], dict]
+
+_RESPONSE_TEMPLATE = (
+    "HTTP/1.0 200 OK\r\n"
+    "Content-Type: application/json\r\n"
+    "Content-Length: {length}\r\n"
+    "Connection: close\r\n"
+    "\r\n"
+)
+
+
+class HealthzEndpoint:
+    """Serves JSON snapshots over loopback TCP; a scheduler pollable."""
+
+    def __init__(self, snapshot: SnapshotFn, host: str = "127.0.0.1",
+                 port: int = 0, *, send_timeout_s: float = 1.0) -> None:
+        self._snapshot = snapshot
+        self._send_timeout_s = send_timeout_s
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            self._listener.bind((host, port))
+        except OSError as exc:
+            self._listener.close()
+            raise TransportError(
+                f"cannot bind healthz {host}:{port}: {exc}") from exc
+        self._listener.listen(16)
+        self._listener.setblocking(False)
+        self.requests_served = 0
+        self.errors = 0
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — port is OS-chosen when configured 0."""
+        return self._listener.getsockname()
+
+    # -- Pollable protocol -------------------------------------------------
+
+    def fileno(self) -> int:
+        return self._listener.fileno()
+
+    def on_readable(self) -> None:
+        """Accept and answer every queued connection."""
+        while True:
+            try:
+                conn, _peer = self._listener.accept()
+            except BlockingIOError:
+                return
+            except OSError as exc:
+                if exc.errno in (errno.EAGAIN, errno.EWOULDBLOCK):
+                    return
+                raise TransportError(f"healthz accept failed: {exc}") from exc
+            self._respond(conn)
+
+    # -- internals ---------------------------------------------------------
+
+    def _respond(self, conn: socket.socket) -> None:
+        try:
+            body = json.dumps(self._snapshot()).encode("utf-8")
+            header = _RESPONSE_TEMPLATE.format(length=len(body))
+            conn.settimeout(self._send_timeout_s)
+            conn.sendall(header.encode("ascii") + body)
+            self.requests_served += 1
+        except OSError:
+            # A probe that vanished mid-response is the client's problem;
+            # counted, never fatal to the run loop.
+            self.errors += 1
+        finally:
+            conn.close()
+
+    def close(self) -> None:
+        self._listener.close()
+
+
+def read_healthz(address: tuple[str, int], timeout_s: float = 2.0,
+                 pump: Callable[[], None] | None = None) -> dict:
+    """Client half: connect, read one snapshot, parse the JSON body.
+
+    Used by the localhost harness and the CI smoke job.  When the caller
+    runs in the *same* thread as the server's scheduler loop (the
+    harness/test pattern), pass a ``pump`` that drives the loop — e.g.
+    ``lambda: server.run_for(0.2)`` — so the accept and send happen
+    between the connect and the read.  Against a server running in
+    another process, leave it None: the server sends the full response
+    and closes as soon as its loop accepts, so read-to-EOF never stalls.
+    """
+    with socket.create_connection(address, timeout=timeout_s) as sock:
+        if pump is not None:
+            pump()
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    raw = b"".join(chunks)
+    header, _, body = raw.partition(b"\r\n\r\n")
+    if not body:
+        raise TransportError(f"healthz response truncated: {raw[:80]!r}")
+    return json.loads(body.decode("utf-8"))

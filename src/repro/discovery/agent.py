@@ -111,6 +111,25 @@ class DiscoveryAgent:
             return
         self._enter_searching()
 
+    def announce_to(self, core_address: Address,
+                    cell_name: str | None = None) -> None:
+        """Join via a known rendezvous address instead of awaiting a beacon.
+
+        Deployments on networks without a broadcast domain (loopback, most
+        cloud fabrics) learn the cell's address out of band — this is the
+        unicast bootstrap the deployment mode's client harness uses.  The
+        agent enters ANNOUNCING immediately; the rest of the state machine
+        (JOIN_ACK/NAK, heartbeats, beacon watchdog once directed beacons
+        start arriving) is unchanged.  A no-op while already joined.
+        """
+        if self.state == AgentState.JOINED:
+            return
+        self._cancel_timers()
+        self.state = AgentState.SEARCHING
+        self.cell_name = cell_name
+        self.core_address = core_address
+        self._enter_announcing()
+
     def stop(self) -> None:
         """Politely leave (if joined) and stop all timers."""
         if self.state == AgentState.JOINED and self.core_address is not None:

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from repro.core.bootstrap import format_address
 from repro.core.bus import EventBus
 from repro.core.events import (
+    MEMBER_MOVED_TYPE,
     MEMBER_RECOVERED_TYPE,
     MEMBER_SILENT_TYPE,
     NEW_MEMBER_TYPE,
@@ -78,6 +79,7 @@ class DiscoveryStats:
     rejections: int = 0
     heartbeats_seen: int = 0
     recoveries: int = 0
+    roams: int = 0
     silences: int = 0
     purges: int = 0
     leaves: int = 0
@@ -146,7 +148,7 @@ class DiscoveryService:
             if packet.type == PacketType.ANNOUNCE:
                 self._on_announce(packet.sender, AnnounceBody.decode(packet.payload), src)
             elif packet.type == PacketType.HEARTBEAT:
-                self._on_heartbeat(packet.sender)
+                self._on_heartbeat(packet.sender, src)
             elif packet.type == PacketType.LEAVE:
                 self._on_leave(packet.sender, LeaveBody.decode(packet.payload))
             # BEACON/JOIN_* from other cells are ignored by the service side.
@@ -162,7 +164,12 @@ class DiscoveryService:
         if record is not None:
             # Known member re-announcing (e.g. it missed our ack, or it was
             # out of range): treat as liveness, re-ack idempotently.  The
-            # membership session continues, so new_session=False.
+            # membership session continues, so new_session=False.  An
+            # announce from a *new* address is a roam: without the handover
+            # the record keeps the stale address and the member's queued
+            # deliveries retransmit there until purge.
+            if src != record.address:
+                self._handle_roam(record, src)
             self._mark_heard(record)
             self._send_join_ack(src, new_session=False)
             return
@@ -197,13 +204,37 @@ class DiscoveryService:
                           self.config.purge_after_s, new_session)
         self.endpoint.send_control(src, PacketType.JOIN_ACK, ack.encode())
 
+    def _handle_roam(self, record: MemberRecord, src: Address) -> None:
+        """Hand the member's transport state over to its new address.
+
+        The endpoint migrates queued deliveries from every superseded
+        channel (the PR 3 reverse-map machinery) and re-learns the
+        forward mapping; the record follows, and a Member Moved event
+        tells the rest of the cell (e.g. a directed-beacon domain).
+        """
+        old_address = record.address
+        requeued = self.endpoint.move_peer(record.member_id, src)
+        record.address = src
+        self.stats.roams += 1
+        self._publisher.publish(MEMBER_MOVED_TYPE, {
+            "member": int(record.member_id), "name": record.name,
+            "address": format_address(src),
+            "old_address": format_address(old_address),
+            "requeued": requeued,
+        })
+
     # -- liveness ------------------------------------------------------------
 
-    def _on_heartbeat(self, member_id: ServiceId) -> None:
+    def _on_heartbeat(self, member_id: ServiceId, src: Address) -> None:
         record = self.table.get(member_id)
         if record is None:
             return            # heartbeat from a purged/unknown device
         self.stats.heartbeats_seen += 1
+        if src != record.address:
+            # A heartbeat can be the first packet heard after a roam
+            # (announce lost, or the device never re-announced): the same
+            # handover applies.
+            self._handle_roam(record, src)
         self._mark_heard(record)
 
     def _mark_heard(self, record: MemberRecord) -> None:

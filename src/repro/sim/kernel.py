@@ -231,6 +231,10 @@ class RealtimeScheduler:
         self._seq = itertools.count()
         self._selector = selectors.DefaultSelector()
         self._pollables: dict[int, Pollable] = {}
+        # fd recorded at registration time, keyed by pollable identity:
+        # a closed socket reports fileno() == -1, so unregistration after
+        # close must not re-ask the pollable for its fd.
+        self._registered_fds: dict[int, int] = {}
         self._stopped = False
 
     def now(self) -> float:
@@ -259,12 +263,25 @@ class RealtimeScheduler:
         fd = pollable.fileno()
         self._selector.register(fd, selectors.EVENT_READ, pollable)
         self._pollables[fd] = pollable
+        self._registered_fds[id(pollable)] = fd
+
+    def register_pollables(self, pollables: "list[Pollable]") -> None:
+        """Register every pollable of a multi-socket source (e.g. a
+        UdpTransport's unicast *and* broadcast sockets)."""
+        for pollable in pollables:
+            self.register_pollable(pollable)
 
     def unregister_pollable(self, pollable: Pollable) -> None:
-        fd = pollable.fileno()
+        fd = self._registered_fds.pop(id(pollable), None)
+        if fd is None:
+            fd = pollable.fileno()
         if fd in self._pollables:
             self._selector.unregister(fd)
             del self._pollables[fd]
+
+    def pollable_count(self) -> int:
+        """Registered fd sources (observability for the server layer)."""
+        return len(self._pollables)
 
     def stop(self) -> None:
         """Make ``run_for``/``run_until_idle`` return at the next iteration."""

@@ -241,6 +241,34 @@ class PacketEndpoint:
         channel.close()
         return dropped
 
+    def move_peer(self, peer: ServiceId, new_address: Address) -> int:
+        """Migrate ``peer``'s channel state to ``new_address`` (it roamed).
+
+        Every channel at a superseded address is drained and torn down;
+        its undelivered payloads are requeued, oldest first, on a channel
+        to the new address — so a roamed member's queued deliveries follow
+        it instead of retransmitting to the stale address until purge.
+        The forward and reverse maps are updated through
+        :meth:`learn_peer`, which also handles the new address having
+        changed hands.  Returns the number of payloads requeued.
+        """
+        old_addresses = [address for address in self.channel_addresses(peer)
+                         if address != new_address]
+        payloads: list[bytes] = []
+        for address in old_addresses:
+            channel = self._channels.pop(address)
+            payloads.extend(channel.drain_undelivered())
+            # The superseded address hosts no state now; dropping its
+            # reverse entry keeps the map from growing with every roam.
+            if self._address_peers.get(address) == peer:
+                del self._address_peers[address]
+        self.learn_peer(peer, new_address)
+        if payloads:
+            channel = self._channel(new_address)
+            for payload in payloads:
+                channel.send(payload)
+        return len(payloads)
+
     def forget_peer(self, peer: ServiceId) -> None:
         """Drop every channel and every learned address for ``peer``."""
         self.close_channel(peer)

@@ -125,6 +125,9 @@ class ChannelStats:
     reorder_drops: int = 0
     acks_sent: int = 0
     give_ups: int = 0
+    #: Untransmitted payloads dropped by edge backpressure
+    #: (:meth:`ReliableChannel.shed_backlog`).
+    backlog_shed: int = 0
     #: RFC-6298 estimator state, fed by acks of never-retransmitted
     #: packets (Karn).  ``srtt``/``rttvar`` are 0.0 until the first
     #: sample; ``rtt_samples`` counts how many have been folded in.
@@ -265,6 +268,45 @@ class ReliableChannel:
     def unacked_count(self) -> int:
         """Messages queued or in flight, awaiting acknowledgement."""
         return len(self._pending) + len(self._in_flight)
+
+    def pending_count(self) -> int:
+        """Messages queued but not yet transmitted (the sheddable backlog)."""
+        return len(self._pending)
+
+    def drain_undelivered(self) -> list[bytes]:
+        """Remove and return every unacknowledged payload, oldest first,
+        then close the channel.
+
+        Used when the peer roams: the endpoint migrates the drained
+        payloads onto a fresh channel at the peer's new address instead of
+        retransmitting into the void at the old one.  Payloads the peer
+        already received but whose ack was lost may be re-sent — the
+        bus-level per-sender watermark absorbs those duplicates.
+        """
+        payloads = [self._in_flight[seq].payload
+                    for seq in self._oldest_first()]
+        payloads.extend(self._pending)
+        self.close()
+        return payloads
+
+    def shed_backlog(self, max_pending: int) -> int:
+        """Drop the oldest untransmitted payloads beyond ``max_pending``.
+
+        The edge backpressure actuator: a member that stops acking grows
+        an unbounded pending queue; shedding bounds per-peer memory while
+        keeping the newest (most clinically relevant) events.  Returns the
+        number dropped; they are also counted in
+        :attr:`ChannelStats.backlog_shed`.
+        """
+        if max_pending < 0:
+            raise ConfigurationError(
+                f"max_pending must be >= 0, got {max_pending}")
+        dropped = 0
+        while len(self._pending) > max_pending:
+            self._pending.popleft()
+            dropped += 1
+        self.stats.backlog_shed += dropped
+        return dropped
 
     def handle_packet(self, packet: Packet) -> None:
         """Process an incoming DATA/ACK/RAW packet from this channel's peer."""

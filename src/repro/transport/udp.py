@@ -32,12 +32,41 @@ DEFAULT_DISCOVERY_PORT = 41200
 _RECV_BUFFER = 65535
 
 
+class _SocketPollable:
+    """Adapter exposing one extra socket as a RealtimeScheduler pollable.
+
+    The transport itself is the pollable for its unicast socket; the
+    broadcast/discovery socket needs its own fd registration or BEACON and
+    ANNOUNCE traffic is never drained by the scheduler loop (it used to be
+    reachable only through the test-only :meth:`UdpTransport.poll`).
+    """
+
+    __slots__ = ("_sock", "_drain")
+
+    def __init__(self, sock: socket.socket, drain) -> None:
+        self._sock = sock
+        self._drain = drain
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def on_readable(self) -> None:
+        self._drain(self._sock)
+
+
 class UdpTransport(Transport):
     """Datagram transport over a real UDP socket."""
 
     def __init__(self, bind_host: str = "127.0.0.1", bind_port: int = 0,
                  discovery_port: int = DEFAULT_DISCOVERY_PORT,
-                 listen_for_broadcast: bool = False) -> None:
+                 listen_for_broadcast: bool = False,
+                 directed_only: bool = False) -> None:
+        #: When True, broadcast reaches only the configured peer list and
+        #: an empty list is a silent no-op — never the real broadcast
+        #: address.  Deployment mode uses this on broadcast-free networks
+        #: (loopback, cloud fabrics), where a fallback sendto to
+        #: 255.255.255.255 from a loopback-bound socket would raise.
+        self._directed_only = directed_only
         self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._socket.setblocking(False)
         try:
@@ -51,6 +80,7 @@ class UdpTransport(Transport):
         self._discovery_port = discovery_port
         self._broadcast_peers: list[tuple[str, int]] = []
         self._broadcast_socket: socket.socket | None = None
+        self._broadcast_pollable: _SocketPollable | None = None
         if listen_for_broadcast:
             self._broadcast_socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
             self._broadcast_socket.setblocking(False)
@@ -62,6 +92,12 @@ class UdpTransport(Transport):
                 self._socket.close()
                 raise TransportError(
                     f"cannot bind discovery port {discovery_port}: {exc}") from exc
+            if discovery_port == 0:
+                # Tests bind an OS-chosen discovery port to avoid
+                # collisions; record the real one so peers can be told.
+                self._discovery_port = self._broadcast_socket.getsockname()[1]
+            self._broadcast_pollable = _SocketPollable(self._broadcast_socket,
+                                                       self._drain)
 
     # -- broadcast domain ---------------------------------------------------
 
@@ -91,6 +127,8 @@ class UdpTransport(Transport):
             for peer in self._broadcast_peers:
                 self._send_datagram(peer, payload)
             return
+        if self._directed_only:
+            return
         try:
             self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_BROADCAST, 1)
             self._socket.sendto(payload, ("<broadcast>", self._discovery_port))
@@ -106,6 +144,19 @@ class UdpTransport(Transport):
     def on_readable(self) -> None:
         """Drain the unicast socket (RealtimeScheduler pollable protocol)."""
         self._drain(self._socket)
+
+    def pollables(self) -> list:
+        """Every fd source this transport reads: register all of them.
+
+        The transport itself covers the unicast socket; when a broadcast
+        listener is bound, a second pollable covers it — without it the
+        discovery plane (BEACON/ANNOUNCE) is deaf under a scheduler-driven
+        deployment, because only :meth:`poll` ever drained that socket.
+        """
+        polls: list = [self]
+        if self._broadcast_pollable is not None:
+            polls.append(self._broadcast_pollable)
+        return polls
 
     def poll(self) -> int:
         """Drain both sockets; returns the number of datagrams delivered.
@@ -133,8 +184,11 @@ class UdpTransport(Transport):
             count += 1
 
     def close(self) -> None:
-        if not self.closed:
-            self._socket.close()
-            if self._broadcast_socket is not None:
-                self._broadcast_socket.close()
+        # Close each socket unconditionally: ``socket.close`` is itself
+        # idempotent, whereas gating on ``self.closed`` leaked the
+        # broadcast socket whenever the closed flag was already set by the
+        # base-class path (e.g. a concurrent close on another thread).
+        self._socket.close()
+        if self._broadcast_socket is not None:
+            self._broadcast_socket.close()
         super().close()

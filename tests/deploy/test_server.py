@@ -1,0 +1,256 @@
+"""Deployment layer: edge controls, the cell server and its healthz.
+
+Edge units (admission, backpressure) run on the simulator + in-memory
+hub; the CellServer tests stand up real loopback sockets, because the
+server *is* the real-socket assembly — but with OS-chosen ports and
+sub-second timers they stay fast and collision-free.
+"""
+
+import time
+
+import pytest
+
+from repro.core.bus import EventBus
+from repro.core.proxies import ServiceProxy
+from repro.deploy import (
+    BackpressureGuard,
+    CapacityAuthenticator,
+    CellServer,
+    ServerConfig,
+    make_devices,
+    read_healthz,
+)
+from repro.discovery.membership import MembershipTable, MemberRecord
+from repro.discovery.messages import AnnounceBody
+from repro.errors import ConfigurationError
+from repro.ids import service_id_from_name
+from repro.smc.cell import CellConfig
+
+
+class TestCapacityAuthenticator:
+    def _table_with(self, count):
+        table = MembershipTable()
+        for index in range(count):
+            table.admit(MemberRecord(
+                member_id=service_id_from_name(f"m{index}"),
+                name=f"m{index}", device_type="service", address=f"a{index}",
+                admitted_at=0.0, last_heard=0.0))
+        return table
+
+    def test_admits_below_capacity(self):
+        auth = CapacityAuthenticator(2)
+        auth.bind_table(self._table_with(1))
+        ok, reason = auth.authenticate(service_id_from_name("new"),
+                                       AnnounceBody("new", "service", b""))
+        assert ok
+
+    def test_naks_at_capacity(self):
+        auth = CapacityAuthenticator(2)
+        auth.bind_table(self._table_with(2))
+        ok, reason = auth.authenticate(service_id_from_name("new"),
+                                       AnnounceBody("new", "service", b""))
+        assert not ok
+        assert "capacity" in reason
+        assert auth.stats.capacity_rejections == 1
+
+    def test_delegates_to_inner_when_room(self):
+        class Deny:
+            def authenticate(self, member_id, announce):
+                return False, "bad credentials"
+
+        auth = CapacityAuthenticator(5, inner=Deny())
+        auth.bind_table(self._table_with(0))
+        ok, reason = auth.authenticate(service_id_from_name("new"),
+                                       AnnounceBody("new", "service", b""))
+        assert not ok and reason == "bad credentials"
+        assert auth.stats.capacity_rejections == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            CapacityAuthenticator(0)
+
+
+class TestBackpressureGuard:
+    def _stack(self, sim, hub, endpoints, **bounds):
+        core = endpoints("core", window=2)
+        dev = endpoints("dev")
+        dev.set_payload_handler(lambda peer, data: None)   # swallow frames
+        bus = EventBus(sim)
+        dev_id = dev.service_id
+        core.learn_peer(dev_id, "dev")
+        proxy = ServiceProxy(bus, core, dev_id, "dev", "dev", "service")
+        guard = BackpressureGuard(bus, core, **bounds)
+        return core, bus, dev_id, proxy, guard
+
+    def test_bounds_validated(self, sim, hub, endpoints):
+        core = endpoints("core")
+        bus = EventBus(sim)
+        for bad in (dict(quench_backlog=4, wake_backlog=4, shed_backlog=8),
+                    dict(quench_backlog=4, wake_backlog=0, shed_backlog=8),
+                    dict(quench_backlog=8, wake_backlog=2, shed_backlog=4)):
+            with pytest.raises(ConfigurationError):
+                BackpressureGuard(bus, core, **bad)
+
+    def test_quench_then_wake_hysteresis(self, sim, hub, endpoints):
+        core, bus, dev_id, proxy, guard = self._stack(
+            sim, hub, endpoints, quench_backlog=4, wake_backlog=2,
+            shed_backlog=64)
+        hub.drop_filter = lambda src, dest, data: False   # strand sends
+        for index in range(6):
+            core.send_reliable("dev", bytes([index]))
+        guard.sweep()
+        assert guard.edge_quenched() == {dev_id}
+        assert guard.stats.quench_advisories == 1
+        guard.sweep()                     # still over: no duplicate
+        assert guard.stats.quench_advisories == 1
+        # The member drains: acks arrive, backlog falls below wake.
+        hub.drop_filter = None
+        sim.run_until_idle(max_time=sim.now() + 60.0)
+        guard.sweep()
+        assert guard.edge_quenched() == set()
+        assert guard.stats.wake_advisories == 1
+
+    def test_shed_trims_pending_tail(self, sim, hub, endpoints):
+        core, bus, dev_id, proxy, guard = self._stack(
+            sim, hub, endpoints, quench_backlog=3, wake_backlog=1,
+            shed_backlog=6)
+        hub.drop_filter = lambda src, dest, data: False
+        for index in range(10):           # window 2 -> 8 pending
+            core.send_reliable("dev", bytes([index]))
+        channel = core.existing_channel("dev")
+        assert channel.unacked_count() == 10
+        guard.sweep()
+        # The sweep quenches first (its advisory frame joins the pending
+        # queue: 8 + 1), then sheds the oldest pending beyond 6.
+        assert guard.stats.payloads_shed == 3
+        assert channel.stats.backlog_shed == 3
+        assert channel.unacked_count() == 8            # 2 in flight + 6
+
+    def test_purged_member_forgotten(self, sim, hub, endpoints):
+        core, bus, dev_id, proxy, guard = self._stack(
+            sim, hub, endpoints, quench_backlog=2, wake_backlog=1,
+            shed_backlog=64)
+        hub.drop_filter = lambda src, dest, data: False
+        for index in range(4):
+            core.send_reliable("dev", bytes([index]))
+        guard.sweep()
+        assert guard.edge_quenched() == {dev_id}
+        bus.unregister_member(dev_id)
+        guard.sweep()
+        assert guard.edge_quenched() == set()
+
+
+@pytest.fixture
+def server():
+    config = ServerConfig(
+        cell=CellConfig(cell_name="test-ward",
+                        beacon_period_s=0.05, heartbeat_period_s=0.05,
+                        silent_after_s=0.5, purge_after_s=1.5,
+                        sweep_period_s=0.1),
+        discovery_port=0,
+        max_members=2,
+        guard_period_s=0.1,
+    )
+    cell_server = CellServer(config)
+    cell_server.start()
+    yield cell_server
+    cell_server.close()
+
+
+def wait(server, condition, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        server.run_for(0.02)
+        if condition():
+            return True
+    return condition()
+
+
+class TestCellServer:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(cell=CellConfig(cell_name="x"), guard_period_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ServerConfig(cell=CellConfig(cell_name="x"), audit_tail=-1)
+
+    def test_snapshot_shape(self, server):
+        snapshot = server.snapshot()
+        for key in ("cell", "engine", "started", "uptime_s", "address",
+                    "pollables", "member_count", "members", "bus",
+                    "channels", "transport", "discovery", "edge",
+                    "edge_quenched"):
+            assert key in snapshot, key
+        assert snapshot["cell"] == "test-ward"
+        assert snapshot["started"] is True
+        assert snapshot["member_count"] == 0
+        # Unicast + broadcast + healthz are all selector-registered.
+        assert snapshot["pollables"] == 3
+
+    def test_join_updates_snapshot_and_beacon_domain(self, server):
+        device = make_devices(server.scheduler, server.address, 1,
+                              announce_retry_s=0.05)[0]
+        try:
+            device.start()
+            assert wait(server, lambda: device.joined)
+            snapshot = server.snapshot()
+            assert snapshot["member_count"] == 1
+            assert snapshot["members"][0]["name"] == "dev-0"
+            assert snapshot["members"][0]["state"] == "active"
+            # Directed beacons now reach the member's address.
+            assert device.transport.local_address \
+                in server.transport._broadcast_peers
+        finally:
+            device.close()
+
+    def test_capacity_nak_past_max_members(self, server):
+        devices = make_devices(server.scheduler, server.address, 3,
+                               announce_retry_s=0.05)
+        rejected = []
+        for device in devices:
+            device.agent.on_rejected = rejected.append
+        try:
+            for device in devices:
+                device.start()
+            assert wait(server, lambda: sum(d.joined for d in devices) == 2
+                        and rejected)
+            assert server.edge_stats.capacity_rejections >= 1
+            assert all("capacity" in reason for reason in rejected)
+            assert server.snapshot()["member_count"] == 2
+        finally:
+            for device in devices:
+                device.close()
+
+    def test_healthz_over_real_tcp(self, server):
+        snapshot = read_healthz(server.healthz_address,
+                                pump=lambda: server.run_for(0.2))
+        assert snapshot["cell"] == "test-ward"
+        assert server.healthz.requests_served == 1
+
+    def test_sharded_cell_reports_shard_loads(self):
+        config = ServerConfig(
+            cell=CellConfig(cell_name="sharded-ward", shards=4,
+                            beacon_period_s=0.05, heartbeat_period_s=0.05,
+                            silent_after_s=0.5, purge_after_s=1.5,
+                            sweep_period_s=0.1),
+            discovery_port=0)
+        cell_server = CellServer(config)
+        try:
+            cell_server.start()
+            snapshot = cell_server.snapshot()
+            # The server's own smc.member subscription (directed beacons)
+            # already occupies a shard; assert shape, not emptiness.
+            assert len(snapshot["shard_loads"]) == 4
+            assert sum(snapshot["shard_loads"]) >= 1
+            assert len(snapshot["shard_events"]) == 4
+        finally:
+            cell_server.close()
+
+    def test_close_releases_all_pollables(self):
+        config = ServerConfig(
+            cell=CellConfig(cell_name="short-lived"), discovery_port=0)
+        cell_server = CellServer(config)
+        cell_server.start()
+        assert cell_server.scheduler.pollable_count() == 3
+        cell_server.close()
+        assert cell_server.scheduler.pollable_count() == 0
+        assert cell_server.transport.fileno() == -1

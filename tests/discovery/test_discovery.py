@@ -339,3 +339,139 @@ class TestMessages:
         from repro.errors import CodecError
         with pytest.raises(CodecError):
             JoinAckBody.decode(JoinAckBody("a", 1.0, 2.0).encode()[:-4])
+
+
+class TestRoaming:
+    """Satellite 2: a known member heard from a new address has roamed.
+
+    Before the fix, the known-member re-announce path re-acked without
+    updating ``record.address`` or migrating transport state, so the
+    roamed device kept receiving its queued deliveries (and directed
+    beacons) at the stale address until it was purged.
+    """
+
+    def _joined(self, sim, hub, endpoints):
+        core_ep = endpoints("core")
+        service, bus = make_service(sim, core_ep)
+        log = membership_log(bus, sim)
+        dev_ep = endpoints("dev")
+        agent = make_agent(sim, dev_ep)
+        service.start()
+        agent.start()
+        sim.run(sim.now() + 2.0)
+        assert agent.joined
+        # Mute the real device's timers: its live heartbeats from "dev"
+        # would legitimately roam the record straight back (last heard
+        # address wins), racing the spoofed packets below.
+        agent._cancel_timers()
+        return service, bus, core_ep, dev_ep, agent, log
+
+    def _spoof_from(self, hub, address, packet):
+        """Send ``packet`` into the core from a new transport address,
+        keeping the original sender id — the device roamed."""
+        roamed = hub.create(address)
+        roamed.set_receiver(lambda src, data: None)
+        roamed.send("core", packet.encode())
+        return roamed
+
+    def test_announce_from_new_address_updates_record(
+            self, sim, hub, endpoints):
+        from repro.core.events import MEMBER_MOVED_TYPE
+        from repro.transport.packets import Packet, PacketType
+
+        service, bus, core_ep, dev_ep, agent, log = self._joined(
+            sim, hub, endpoints)
+        record = service.table.get(dev_ep.service_id)
+        assert record.address == "dev"
+
+        announce = AnnounceBody("dev", "service", b"")
+        self._spoof_from(hub, "dev-roamed",
+                         Packet(type=PacketType.ANNOUNCE,
+                                sender=dev_ep.service_id,
+                                payload=announce.encode()))
+        sim.run(sim.now() + 1.0)
+        assert record.address == "dev-roamed"
+        assert service.stats.roams == 1
+        assert core_ep.address_of(dev_ep.service_id) == "dev-roamed"
+        assert core_ep.channel_addresses(dev_ep.service_id) <= {"dev-roamed"}
+        moved = [entry for entry in log if entry[0] == MEMBER_MOVED_TYPE]
+        assert moved == [(MEMBER_MOVED_TYPE, "dev", None)]
+        # Still one member — a roam is not a rejoin.
+        assert len(service.table) == 1
+        assert service.stats.admissions == 1
+
+    def test_queued_deliveries_follow_the_roam(self, sim, hub, endpoints):
+        from repro.transport.packets import Packet, PacketType
+
+        service, bus, core_ep, dev_ep, agent, log = self._joined(
+            sim, hub, endpoints)
+        # Strand deliveries toward the old address.
+        hub.drop_filter = lambda src, dest, data: src != "core" or dest != "dev"
+        core_ep.send_reliable("dev", b"queued-while-away")
+        sim.run(sim.now() + 0.5)
+
+        got = []
+        roamed = hub.create("dev-roamed")
+
+        def on_datagram(src, data):
+            packet = Packet.decode(data)
+            if packet.type == PacketType.DATA:
+                got.append(bytes(packet.payload))
+                roamed.send(src, Packet(type=PacketType.ACK,
+                                        sender=dev_ep.service_id,
+                                        ack=packet.seq).encode())
+
+        roamed.set_receiver(on_datagram)
+        announce = AnnounceBody("dev", "service", b"")
+        roamed.send("core", Packet(type=PacketType.ANNOUNCE,
+                                   sender=dev_ep.service_id,
+                                   payload=announce.encode()).encode())
+        sim.run(sim.now() + 2.0)
+        assert b"queued-while-away" in got
+
+    def test_heartbeat_from_new_address_also_roams(self, sim, hub,
+                                                   endpoints):
+        from repro.transport.packets import Packet, PacketType
+
+        service, bus, core_ep, dev_ep, agent, log = self._joined(
+            sim, hub, endpoints)
+        record = service.table.get(dev_ep.service_id)
+        # The re-announce was lost; the first packet from the new home
+        # is a heartbeat.
+        self._spoof_from(hub, "dev-roamed",
+                         Packet(type=PacketType.HEARTBEAT,
+                                sender=dev_ep.service_id))
+        sim.run(sim.now() + 1.0)
+        assert record.address == "dev-roamed"
+        assert service.stats.roams == 1
+
+    def test_same_address_reannounce_is_not_a_roam(self, sim, hub,
+                                                   endpoints):
+        service, bus, core_ep, dev_ep, agent, log = self._joined(
+            sim, hub, endpoints)
+        agent._send_announce()          # duplicate from the same address
+        sim.run(sim.now() + 1.0)
+        assert service.stats.roams == 0
+        assert service.table.get(dev_ep.service_id).address == "dev"
+
+    def test_roam_of_silent_member_also_recovers(self, sim, hub,
+                                                 endpoints):
+        from repro.transport.packets import Packet, PacketType
+
+        service, bus, core_ep, dev_ep, agent, log = self._joined(
+            sim, hub, endpoints)
+        hub.drop_filter = lambda src, dest, data: False
+        sim.run(sim.now() + 2.5)                    # past silent_after_s
+        record = service.table.get(dev_ep.service_id)
+        assert record.state is MemberState.SILENT
+        hub.drop_filter = None
+        announce = AnnounceBody("dev", "service", b"")
+        self._spoof_from(hub, "dev-roamed",
+                         Packet(type=PacketType.ANNOUNCE,
+                                sender=dev_ep.service_id,
+                                payload=announce.encode()))
+        sim.run(sim.now() + 1.0)
+        assert record.state is MemberState.ACTIVE
+        assert record.address == "dev-roamed"
+        assert service.stats.roams == 1
+        assert service.stats.recoveries == 1

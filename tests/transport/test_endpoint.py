@@ -296,3 +296,76 @@ class TestChannelObservability:
         assert a.existing_channel("b") is not None
         a.reset_channel_to("b")
         assert a.existing_channel("b") is None      # closed, not resurrected
+
+
+class TestMovePeer:
+    """move_peer: the roam handover — migrate queued deliveries to the
+    member's new address instead of retransmitting at the stale one."""
+
+    def _stranded(self, sim, hub, endpoints, payloads=3):
+        core, dev = endpoints("core"), endpoints("dev")
+        dev.set_payload_handler(lambda peer, data: None)
+        hub.drop_filter = lambda src, dest, data: src != "core"
+        core.learn_peer(dev.service_id, "dev")
+        for index in range(payloads):
+            core.send_reliable("dev", bytes([index]))
+        return core, dev.service_id
+
+    def _device_at(self, hub, address, dev_id):
+        """A raw transport standing in for the roamed device: same
+        service id, new address; collects DATA payloads and ACKs them."""
+        transport = hub.create(address)
+        got = []
+
+        def on_datagram(src, data):
+            packet = Packet.decode(data)
+            if packet.type == PacketType.DATA:
+                got.append(bytes(packet.payload))
+                transport.send(src, Packet(type=PacketType.ACK,
+                                           sender=dev_id,
+                                           ack=packet.seq).encode())
+
+        transport.set_receiver(on_datagram)
+        return got
+
+    def test_queued_payloads_follow_the_peer(self, sim, hub, endpoints):
+        core, dev_id = self._stranded(sim, hub, endpoints)
+        got = self._device_at(hub, "dev-roamed", dev_id)
+        hub.drop_filter = None
+        assert core.move_peer(dev_id, "dev-roamed") == 3
+        sim.run_until_idle()
+        assert got == [bytes([0]), bytes([1]), bytes([2])]
+        assert core.address_of(dev_id) == "dev-roamed"
+        assert core.channel_addresses(dev_id) == {"dev-roamed"}
+        assert core.existing_channel("dev") is None
+
+    def test_move_covers_every_superseded_address(self, sim, hub,
+                                                  endpoints):
+        # A twice-roamed peer has stranded state at two old addresses.
+        core, dev_id = self._stranded(sim, hub, endpoints)
+        hub.create("dev-hop")
+        core.learn_peer(dev_id, "dev-hop")
+        core.send_reliable("dev-hop", b"mid-roam")
+        got = self._device_at(hub, "dev-final", dev_id)
+        hub.drop_filter = None
+        assert core.move_peer(dev_id, "dev-final") == 4
+        sim.run_until_idle()
+        assert sorted(got) == sorted([bytes([0]), bytes([1]), bytes([2]),
+                                      b"mid-roam"])
+        assert core.channel_addresses(dev_id) == {"dev-final"}
+
+    def test_move_to_current_address_is_noop(self, sim, hub, endpoints):
+        core, dev_id = self._stranded(sim, hub, endpoints)
+        assert core.move_peer(dev_id, "dev") == 0
+        assert core.address_of(dev_id) == "dev"
+        # The existing channel (with its in-flight state) survives.
+        assert core.existing_channel("dev") is not None
+
+    def test_move_with_no_channel_state(self, sim, hub, endpoints):
+        core = endpoints("core")
+        endpoints("dev")
+        hub.create("dev-roamed")
+        dev_id = service_id_from_name("dev")
+        core.learn_peer(dev_id, "dev")
+        assert core.move_peer(dev_id, "dev-roamed") == 0
+        assert core.address_of(dev_id) == "dev-roamed"

@@ -151,3 +151,114 @@ class TestRealtimeScheduler:
         start = time.monotonic()
         scheduler.run_for(5.0)
         assert time.monotonic() - start < 2.0
+
+
+class TestBroadcastSocketPollable:
+    """Satellite 1: the broadcast/discovery socket must be a pollable.
+
+    Before the fix, only the unicast socket was exposed through
+    fileno()/on_readable(), so a scheduler-driven deployment never
+    drained discovery traffic — BEACONs and ANNOUNCEs arrived on a
+    socket nobody selected on.
+    """
+
+    def test_pollables_cover_both_sockets(self):
+        t = UdpTransport(listen_for_broadcast=True, discovery_port=0)
+        try:
+            polls = t.pollables()
+            assert len(polls) == 2
+            assert polls[0] is t
+            fds = {p.fileno() for p in polls}
+            assert len(fds) == 2 and -1 not in fds
+        finally:
+            t.close()
+
+    def test_unicast_only_transport_has_one_pollable(self, udp_pair):
+        a, _ = udp_pair
+        assert a.pollables() == [a]
+
+    def test_scheduler_drains_broadcast_socket(self, udp_pair):
+        a, _ = udp_pair
+        listener = UdpTransport(listen_for_broadcast=True, discovery_port=0)
+        scheduler = RealtimeScheduler()
+        try:
+            got = []
+            listener.set_receiver(lambda src, data: got.append(data))
+            scheduler.register_pollables(listener.pollables())
+            # Send to the *discovery* socket, not the unicast one: only
+            # the broadcast pollable can deliver this.
+            dest = ("127.0.0.1", listener.discovery_port)
+            scheduler.call_later(0.01, a.send, dest, b"beacon traffic")
+            scheduler.run_for(0.3)
+            assert got == [b"beacon traffic"]
+        finally:
+            scheduler.unregister_pollable(listener)
+            listener.close()
+
+    def test_unregister_after_close_is_safe(self):
+        # Closed sockets report fileno() == -1; the scheduler must
+        # unregister by the fd it recorded at registration time.
+        t = UdpTransport(listen_for_broadcast=True, discovery_port=0)
+        scheduler = RealtimeScheduler()
+        scheduler.register_pollables(t.pollables())
+        assert scheduler.pollable_count() == 2
+        polls = t.pollables()
+        t.close()
+        for pollable in polls:
+            scheduler.unregister_pollable(pollable)
+        assert scheduler.pollable_count() == 0
+
+
+class TestCloseIdempotency:
+    """Satellite 3: close() must release both sockets, every path.
+
+    The old close() gated on ``self.closed`` — if the base-class flag was
+    already set (a concurrent or double close), the broadcast socket was
+    never closed and its discovery-port bind leaked until GC.
+    """
+
+    def test_double_close_releases_broadcast_socket(self):
+        t = UdpTransport(listen_for_broadcast=True, discovery_port=0)
+        port = t.discovery_port
+        t.close()
+        t.close()                       # second close: must not raise
+        assert t.fileno() == -1
+        assert t._broadcast_socket.fileno() == -1
+        # The discovery port is genuinely free again.
+        rebound = UdpTransport(listen_for_broadcast=True,
+                               discovery_port=port)
+        rebound.close()
+
+    def test_close_after_base_class_flag_set(self):
+        from repro.transport.base import Transport
+
+        t = UdpTransport(listen_for_broadcast=True, discovery_port=0)
+        # Simulate the race: the base path marks the transport closed
+        # first (as a concurrent closer would), then our close() runs.
+        Transport.close(t)
+        assert t.closed
+        t.close()
+        assert t.fileno() == -1
+        assert t._broadcast_socket.fileno() == -1
+
+
+class TestDirectedOnlyBroadcast:
+    def test_empty_domain_is_noop(self):
+        t = UdpTransport(directed_only=True)
+        try:
+            t.broadcast(b"nobody home")     # must not raise or sendto
+        finally:
+            t.close()
+
+    def test_peers_still_reached(self, udp_pair):
+        a, b = udp_pair
+        sender = UdpTransport(directed_only=True)
+        try:
+            got = []
+            b.set_receiver(lambda src, data: got.append(data))
+            sender.set_broadcast_peers([b.local_address])
+            sender.broadcast(b"directed")
+            assert poll_until([sender, b], lambda: got)
+            assert got == [b"directed"]
+        finally:
+            sender.close()
