@@ -23,11 +23,15 @@ What this demo stands up, all on loopback:
   device → cell → matching engine → proxy → device over real sockets.
 
 Run:  PYTHONPATH=src python examples/udp_cell.py [--clients N]
-          [--duration SECONDS] [--selftest]
+          [--duration SECONDS] [--batch N] [--shards N] [--workers N]
+          [--selftest]
 
-``--selftest`` asserts full membership and a throughput floor, then
-drains the cell with polite LEAVEs — this is what the CI smoke job runs
-with 100 clients.
+``--batch N`` makes every sensor coalesce N readings into one BATCH
+frame (the client-harness half of the batch pipeline); ``--shards`` /
+``--workers`` stand the cell up on a sharded bus with that many match
+worker processes.  ``--selftest`` asserts full membership and a
+throughput floor, then drains the cell with polite LEAVEs — this is what
+the CI smoke job runs with 100 clients.
 """
 
 import argparse
@@ -39,7 +43,8 @@ from repro.matching.filters import Filter
 from repro.smc.cell import CellConfig
 
 
-def build_server(max_members: int) -> CellServer:
+def build_server(max_members: int, shards: int = 1,
+                 workers: int = 0) -> CellServer:
     config = ServerConfig(
         cell=CellConfig(
             cell_name="udp-ward",
@@ -48,10 +53,12 @@ def build_server(max_members: int) -> CellServer:
             silent_after_s=2.0,
             purge_after_s=8.0,
             sweep_period_s=0.25,
+            shards=shards,
         ),
         discovery_port=0,          # OS-chosen: no collisions between runs
         max_members=max_members,
         guard_period_s=0.25,
+        workers=workers,
     )
     return CellServer(config)
 
@@ -72,12 +79,20 @@ def main() -> int:
                         help="device sockets to join (default 10)")
     parser.add_argument("--duration", type=float, default=2.0,
                         help="publishing phase length in seconds")
+    parser.add_argument("--batch", type=int, default=0,
+                        help="readings each sensor coalesces into one "
+                             "BATCH frame (0 = one packet per reading)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="matching shards on the cell core")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="match worker processes (requires --shards > 1)")
     parser.add_argument("--selftest", action="store_true",
                         help="assert membership and throughput, exit 1 on "
                              "failure (CI mode)")
     args = parser.parse_args()
 
-    server = build_server(max_members=args.clients + 1)
+    server = build_server(max_members=args.clients + 1,
+                          shards=args.shards, workers=args.workers)
     server.start()
     print(f"cell core on udp {server.address[0]}:{server.address[1]}, "
           f"healthz on http://{server.healthz_address[0]}:"
@@ -86,7 +101,8 @@ def main() -> int:
     # One extra device acts as the nurse display: it subscribes to the
     # alert rule every sensor's vitals are matched against.
     devices = make_devices(server.scheduler, server.address,
-                           args.clients + 1, announce_retry_s=0.2)
+                           args.clients + 1, announce_retry_s=0.2,
+                           batch=args.batch)
     sensors, display = devices[:-1], devices[-1]
     for device in devices:
         device.start()
@@ -111,23 +127,24 @@ def main() -> int:
                timeout_s=5.0)
 
     # Publishing phase: every sensor alternates normal and tachycardic
-    # readings; only the latter should reach the display.
-    published = 0
+    # readings; only the latter should reach the display.  With --batch,
+    # readings buffer client-side and ride BATCH frames.
     deadline = time.monotonic() + args.duration
     beat = 0
     while time.monotonic() < deadline:
         for index, sensor in enumerate(sensors):
             hr = 140.0 if (beat + index) % 2 == 0 else 80.0
-            if sensor.publish("vitals.hr", {"hr": hr,
-                                            "patient": sensor.name}):
-                published += 2
+            sensor.publish("vitals.hr", {"hr": hr, "patient": sensor.name})
         beat += 1
         server.run_for(0.02)
+    for sensor in sensors:
+        sensor.flush()                     # partial buffers out the door
+    # ClientStats counts what actually left each socket, batched or not.
+    published = sum(sensor.client.stats.published for sensor in sensors)
     # Drain phase: let retransmissions and deliveries settle.
-    expected_alerts = published // 4       # every other reading is > 120
+    expected_alerts = published // 2       # every other reading is > 120
     wait_until(server, lambda: len(alerts) >= expected_alerts,
                timeout_s=10.0)
-    published //= 2
 
     snapshot = read_healthz(server.healthz_address,
                             pump=lambda: server.run_for(0.2))
@@ -138,6 +155,12 @@ def main() -> int:
           f"bus.matched={snapshot['bus']['matched']} "
           f"channels.retransmissions="
           f"{snapshot['channels']['retransmissions']}")
+    if "workers" in snapshot:
+        pool = snapshot["workers"]
+        print(f"workers: alive={sum(pool['alive'])}/{pool['workers']} "
+              f"plans={pool['plans']} respawns={pool['respawns']} "
+              f"ipc_out={pool['ipc_bytes_out']}B "
+              f"events={pool['worker_events']}")
 
     failures = []
     if args.selftest:

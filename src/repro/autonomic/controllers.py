@@ -251,8 +251,16 @@ class FlushController:
 class ShardRebalancer:
     """Split a hot name class across shards by a secondary value bucket.
 
-    Analyze: the fragment loads of
-    :meth:`~repro.core.sharding.ShardedMatcher.shard_loads` — the hottest
+    Analyze: per-shard load, through one of two senses.
+    ``sense="fragments"`` (default) reads the registered-fragment counts
+    of :meth:`~repro.core.sharding.ShardedMatcher.shard_loads` — table
+    skew, visible before a single event flows.  ``sense="events"`` reads
+    the *growth* of :meth:`~repro.core.sharding.ShardedMatcher.
+    shard_events` between ticks — actual match work done per shard, which
+    under a :class:`~repro.core.workers.WorkerPoolExecutor` is exactly
+    per-worker load (shard ownership is static), making ``split_class``
+    the pool's load-levelling actuator: spreading a hot class across
+    shards spreads its events across workers.  Either way the hottest
     shard must carry more than ``hot_ratio`` times the mean load to be
     worth disturbing.  Plan: among the unsplit classes homed on that
     shard with at least ``min_fragments`` fragments, pick the largest,
@@ -266,20 +274,37 @@ class ShardRebalancer:
     name = "rebalance"
 
     def __init__(self, matcher: "ShardedMatcher", *, hot_ratio: float = 2.0,
-                 min_fragments: int = 16, min_buckets: int = 2) -> None:
+                 min_fragments: int = 16, min_buckets: int = 2,
+                 sense: str = "fragments") -> None:
         if hot_ratio < 1.0:
             raise ConfigurationError(f"hot_ratio must be >= 1, got {hot_ratio}")
+        if sense not in ("fragments", "events"):
+            raise ConfigurationError(
+                f"sense must be 'fragments' or 'events', got {sense!r}")
         self._matcher = matcher
         self._hot_ratio = hot_ratio
         self._min_fragments = min_fragments
         self._min_buckets = min_buckets
+        self._sense = sense
+        self._last_events: list[int] | None = None
+
+    def _sense_loads(self) -> list[int]:
+        """Per-shard load as this controller's sense defines it."""
+        if self._sense == "fragments":
+            return self._matcher.shard_loads()
+        events = self._matcher.shard_events()
+        last, self._last_events = self._last_events, events
+        if last is None:
+            # First tick only observes — a delta needs two samples.
+            return [0] * len(events)
+        return [cur - prev for cur, prev in zip(events, last)]
 
     def tick(self, now: float,
              registry: "MetricRegistry | None" = None) -> list[Actuation]:
         matcher = self._matcher
         if matcher.shard_count < 2:
             return []
-        loads = matcher.shard_loads()
+        loads = self._sense_loads()
         total = sum(loads)
         if not total:
             return []
@@ -308,5 +333,5 @@ class ShardRebalancer:
         return [Actuation(
             now, self.name, f"shard-{hot}", "split_class",
             {"names": sorted(stat.names), "bucket_name": bucket,
-             "fragments": stat.fragments, "moved": moved,
+             "fragments": stat.fragments, "moved": moved, "sense": self._sense,
              "loads_before": loads, "loads_after": matcher.shard_loads()})]

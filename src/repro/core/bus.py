@@ -359,10 +359,22 @@ class EventBus:
         fresh = self._dedup_phase(events)
         if not fresh:
             return 0
-        matched_ids = self.engine.match_batch_ids(
-            [event.attrs_view() for event in fresh])
+        matched_ids = self._match_phase(fresh)
         self._dispatch_phase(fresh, matched_ids)
         return len(fresh)
+
+    def _match_phase(self, fresh: Sequence[Event]) -> Sequence[Sequence[int]]:
+        """Pure match phase: per-event sorted subscription-id lists.
+
+        A pure function of the subscription table and the event stream —
+        no dispatch state is read or written — which is what lets a
+        sharded engine fan it out, and a
+        :class:`~repro.core.workers.WorkerPoolExecutor` behind it run the
+        fan-out on worker processes.  Whatever executes the match, the
+        dispatch phase below consumes only the resulting id lists.
+        """
+        return self.engine.match_batch_ids(
+            [event.attrs_view() for event in fresh])
 
     def _dedup_phase(self, events: Sequence[Event]) -> list[Event]:
         """Watermark pass: count every attempt, keep the fresh events."""

@@ -58,11 +58,17 @@ from repro.errors import ConfigurationError
 from repro.matching.engine import MatchingEngine, make_engine
 from repro.matching.filters import Filter, Op, Subscription
 from repro.matching.forwarding import name_class
+from repro.matching.plan import InlineExecutor, MatchPlan, PlanExecutor
 from repro.sim.hosts import CostMeter
 from repro.sim.kernel import Scheduler
 from repro.transport.wire import Value
 
 from repro.core.bus import EventBus
+
+#: One registration delta as emitted to an attached sink: ``("sub", shard,
+#: epoch, Subscription fragment)`` or ``("unsub", shard, epoch, sub_id)``.
+#: Executors replay these to replica tables in epoch order.
+DeltaSink = Callable[[str, int, int, object], None]
 
 #: Default shard count for a sharded bus.  Eight covers the class
 #: diversity of realistic vitals workloads without leaving most shards
@@ -179,8 +185,12 @@ class ShardedMatcher(MatchingEngine):
         if isinstance(engine, str):
             engine_name = engine
             factory: EngineFactory = lambda: make_engine(engine_name)
+            #: Engine name a worker process can rebuild replicas from;
+            #: None when built from an opaque factory (inline-only).
+            self.engine_spec: str | None = engine_name
         else:
             factory = engine
+            self.engine_spec = None
         self.shard_count = shard_count
         self._shards: tuple[MatchingEngine, ...] = tuple(
             factory() for _ in range(shard_count))
@@ -203,6 +213,13 @@ class ShardedMatcher(MatchingEngine):
             frozenset[str], dict[str, dict[Value, int]]] = {}
         #: Events projected onto each shard (match work), for load sensing.
         self.shard_event_counts: list[int] = [0] * shard_count
+        #: Registration epoch: bumped on every per-shard table mutation.
+        #: Plans stamp it; executors with replica tables sync to it.
+        self.epoch = 0
+        #: Attached executor consuming this matcher's plans (batch path).
+        self._executor: PlanExecutor = InlineExecutor(self)
+        #: Optional registration-delta listener (the worker pool's feed).
+        self._delta_sink: DeltaSink | None = None
 
     def set_meter(self, meter: CostMeter) -> None:
         """Forward cost accounting to every shard that supports it.
@@ -218,6 +235,59 @@ class ShardedMatcher(MatchingEngine):
             set_shard_meter = getattr(shard, "set_meter", None)
             if set_shard_meter is not None:
                 set_shard_meter(meter)
+
+    # -- plan execution boundary ------------------------------------------
+
+    @property
+    def executor(self) -> PlanExecutor:
+        return self._executor
+
+    def set_executor(self, executor: PlanExecutor | None) -> None:
+        """Install the executor the batch match phase runs plans on.
+
+        ``None`` restores the default :class:`InlineExecutor`.  Host-side
+        engines stay fully registered regardless of the executor, so the
+        single-event path, introspection and the rebalancer's analysis
+        are executor-agnostic — and any executor can fall back inline.
+        """
+        self._executor = executor if executor is not None \
+            else InlineExecutor(self)
+
+    def attach_delta_sink(self, sink: DeltaSink) -> None:
+        """Feed every future registration delta to ``sink``.
+
+        One sink at a time (the worker pool); the sink is called
+        synchronously inside subscribe/unsubscribe/split, in epoch order.
+        Catch up on the existing table with :meth:`shard_snapshot` first.
+        """
+        if self._delta_sink is not None:
+            raise ConfigurationError("a delta sink is already attached")
+        self._delta_sink = sink
+
+    def detach_delta_sink(self, sink: DeltaSink) -> None:
+        # == not `is`: bound methods are re-created on each access.
+        if self._delta_sink == sink:
+            self._delta_sink = None
+
+    def shard_snapshot(self, shards: Iterable[int] | None = None
+                       ) -> list[tuple[int, Subscription]]:
+        """Current per-shard subscription fragments, for replica bootstrap.
+
+        Returns ``(shard index, fragment)`` pairs in sub-id order,
+        restricted to ``shards`` when given.  Routing is recomputed from
+        the live split table, so the snapshot is exactly what replaying
+        the whole delta history would have produced.
+        """
+        wanted = None if shards is None else set(shards)
+        out: list[tuple[int, Subscription]] = []
+        for sub_id in sorted(self._subscriptions):
+            subscription = self._subscriptions[sub_id]
+            per_shard, _routed, _always = self._group_filters(subscription)
+            for sidx, filters in per_shard.items():
+                if wanted is None or sidx in wanted:
+                    out.append((sidx, Subscription(
+                        sub_id, subscription.subscriber, filters)))
+        return out
 
     # -- introspection ----------------------------------------------------
 
@@ -306,9 +376,12 @@ class ShardedMatcher(MatchingEngine):
     def _index(self, subscription: Subscription) -> None:
         per_shard, routed, always = self._group_filters(subscription)
         for sidx, filters in per_shard.items():
-            self._shards[sidx].subscribe(
-                Subscription(subscription.sub_id, subscription.subscriber,
-                             filters))
+            fragment = Subscription(subscription.sub_id,
+                                    subscription.subscriber, filters)
+            self._shards[sidx].subscribe(fragment)
+            self.epoch += 1
+            if self._delta_sink is not None:
+                self._delta_sink("sub", sidx, self.epoch, fragment)
         for filt, names, sidx, bucketed in routed:
             self._track_fragment(subscription.sub_id, filt, names, sidx,
                                  bucketed, +1)
@@ -319,6 +392,10 @@ class ShardedMatcher(MatchingEngine):
     def _deindex(self, subscription: Subscription) -> None:
         for sidx in self._routes.pop(subscription.sub_id, ()):
             self._shards[sidx].unsubscribe(subscription.sub_id)
+            self.epoch += 1
+            if self._delta_sink is not None:
+                self._delta_sink("unsub", sidx, self.epoch,
+                                 subscription.sub_id)
         _per_shard, routed, always = self._group_filters(subscription)
         for filt, names, sidx, bucketed in routed:
             self._track_fragment(subscription.sub_id, filt, names, sidx,
@@ -472,19 +549,25 @@ class ShardedMatcher(MatchingEngine):
                 matched |= ids
         return matched
 
-    def _match_ids_batch(self, batch: Sequence[Mapping[str, Value]]
-                         ) -> list[set[int]]:
-        merged = [set(self._always_subs) for _ in batch]
+    def build_plans(self, batch: Sequence[Mapping[str, Value]]
+                    ) -> list[MatchPlan]:
+        """The pure half of the batch match: one plan per occupied shard.
+
+        Projects every event onto the shards that index one of its names
+        (split classes route by value bucket), stamps the current
+        registration epoch, and charges ``shard_event_counts`` — plan
+        construction is where match *work* is assigned, wherever it ends
+        up executing.
+        """
+        epoch = self.epoch
         if self.shard_count == 1:
-            # One shard sees everything: skip projection, feed the batch
-            # straight through so shards=1 matches the single bus's cost.
-            shard = self._shards[0]
-            if len(shard):
-                self.shard_event_counts[0] += len(batch)
-                for out, ids in zip(merged, shard._match_ids_batch(batch)):
-                    if ids:
-                        out |= ids
-            return merged
+            # One shard sees everything: skip projection, hand the batch
+            # through as-is so shards=1 matches the single bus's cost.
+            if not len(self._shards[0]):
+                return []
+            self.shard_event_counts[0] += len(batch)
+            return [MatchPlan(0, epoch, list(range(len(batch))),
+                              list(batch))]
         per_shard_events: list[list[int]] = [[] for _ in self._shards]
         per_shard_batch: list[list[Mapping[str, Value]]] = [
             [] for _ in self._shards]
@@ -492,15 +575,35 @@ class ShardedMatcher(MatchingEngine):
             for sidx, projected in self._project(attributes).items():
                 per_shard_events[sidx].append(index)
                 per_shard_batch[sidx].append(projected)
+        plans: list[MatchPlan] = []
         for sidx, shard_batch in enumerate(per_shard_batch):
             self.shard_event_counts[sidx] += len(shard_batch)
-            if not shard_batch:
-                continue
-            shard_results = self._shards[sidx]._match_ids_batch(shard_batch)
-            for index, ids in zip(per_shard_events[sidx], shard_results):
+            if shard_batch:
+                plans.append(MatchPlan(sidx, epoch, per_shard_events[sidx],
+                                       shard_batch))
+        return plans
+
+    def merge_plan_results(self, batch_len: int, plans: Sequence[MatchPlan],
+                           results: Sequence[Sequence[Iterable[int]]]
+                           ) -> list[set[int]]:
+        """Union executed plan results back into per-event match-id sets.
+
+        The union *is* the disjunction semantics of multi-filter
+        subscriptions; match-everything subscriptions (held at the
+        composite, never shipped) join every set here on the host.
+        """
+        merged = [set(self._always_subs) for _ in range(batch_len)]
+        for plan, per_event in zip(plans, results):
+            for index, ids in zip(plan.indexes, per_event):
                 if ids:
-                    merged[index] |= ids
+                    merged[index].update(ids)
         return merged
+
+    def _match_ids_batch(self, batch: Sequence[Mapping[str, Value]]
+                         ) -> list[set[int]]:
+        plans = self.build_plans(batch)
+        results = self._executor.execute(plans) if plans else []
+        return self.merge_plan_results(len(batch), plans, results)
 
 
 class ShardedEventBus(EventBus):
@@ -533,6 +636,20 @@ class ShardedEventBus(EventBus):
     def shard_loads(self) -> list[int]:
         """Subscription fragments per shard (observability/balance)."""
         return self.sharded.shard_loads()
+
+    @property
+    def executor(self) -> PlanExecutor:
+        """The plan executor the match phase runs on (inline by default)."""
+        return self.sharded.executor
+
+    def set_executor(self, executor: PlanExecutor | None) -> None:
+        """Route the match phase through ``executor`` (None = inline).
+
+        The dispatch phase — watermarks, ownership, proxies, quench, the
+        BusStats invariant — never leaves this bus object; only the
+        pure match computation moves.
+        """
+        self.sharded.set_executor(executor)
 
     def split_class(self, names: Iterable[str], bucket_name: str) -> int:
         """Re-route a hot class by a value bucket; see

@@ -36,7 +36,9 @@ class LoopbackDevice:
 
     def __init__(self, scheduler: RealtimeScheduler, core_address: Address,
                  config: AgentConfig, bind_host: str = "127.0.0.1",
-                 window: int | None = None) -> None:
+                 window: int | None = None, batch: int = 0) -> None:
+        if batch < 0:
+            raise ValueError(f"batch must be >= 0, got {batch}")
         self.scheduler = scheduler
         self.core_address = core_address
         # Devices never bind the discovery port — beacons arrive directed
@@ -50,6 +52,13 @@ class LoopbackDevice:
         self.client = BusClient(self.endpoint, scheduler, bus_address=None)
         self.agent.on_joined = self._on_joined
         self._registered = False
+        #: Publishes buffered per flush; 0 sends each publish immediately.
+        #: Buffered publishes ride one BATCH frame via
+        #: :meth:`~repro.core.client.BusClient.publish_batch` — one packet
+        #: per flush instead of one per event, which is what lets a
+        #: harness drive thousands of devices through one socket.
+        self.batch = batch
+        self._buffer: list[tuple[str, dict | None]] = []
 
     def _on_joined(self, _cell_name: str, core_address: Address) -> None:
         self.client.bus_address = core_address
@@ -65,10 +74,12 @@ class LoopbackDevice:
 
     def leave(self) -> None:
         """Politely LEAVE the cell (the agent stays constructed)."""
+        self.flush()
         self.agent.stop()
         self.client.bus_address = None
 
     def close(self) -> None:
+        self.flush()
         self.agent.stop()
         if self._registered:
             for pollable in self.transport.pollables():
@@ -91,7 +102,31 @@ class LoopbackDevice:
         return self.endpoint.service_id
 
     def publish(self, event_type: str, attributes: dict | None = None):
-        return self.client.publish(event_type, attributes)
+        """Publish one event; buffered until :meth:`flush` when batching.
+
+        Unbatched, this is the old behaviour (one reliable payload per
+        publish, returns the stamped event or None).  With ``batch > 0``
+        the event joins the buffer and None is returned — events are
+        stamped at flush time, all with one send.
+        """
+        if not self.batch:
+            return self.client.publish(event_type, attributes)
+        self._buffer.append((event_type, attributes))
+        if len(self._buffer) >= self.batch:
+            self.flush()
+        return None
+
+    def flush(self) -> list[Event]:
+        """Send every buffered publish as one BATCH; returns the events."""
+        if not self._buffer:
+            return []
+        items, self._buffer = self._buffer, []
+        return self.client.publish_batch(items)
+
+    @property
+    def pending(self) -> int:
+        """Publishes buffered and not yet flushed."""
+        return len(self._buffer)
 
     def subscribe(self, filters: Filter,
                   callback: Callable[[Event], None]) -> int:
@@ -102,13 +137,15 @@ def make_devices(scheduler: RealtimeScheduler, core_address: Address,
                  count: int, *, device_type: str = "service",
                  name_prefix: str = "dev",
                  announce_retry_s: float = 0.2,
-                 beacon_timeout_s: float = 10.0) -> list[LoopbackDevice]:
+                 beacon_timeout_s: float = 10.0,
+                 batch: int = 0) -> list[LoopbackDevice]:
     """Build ``count`` devices aimed at one cell (benchmark/CI helper)."""
     return [
         LoopbackDevice(scheduler, core_address,
                        AgentConfig(name=f"{name_prefix}-{index}",
                                    device_type=device_type,
                                    announce_retry_s=announce_retry_s,
-                                   beacon_timeout_s=beacon_timeout_s))
+                                   beacon_timeout_s=beacon_timeout_s),
+                       batch=batch)
         for index in range(count)
     ]

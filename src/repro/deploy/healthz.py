@@ -53,6 +53,8 @@ class HealthzEndpoint:
                 f"cannot bind healthz {host}:{port}: {exc}") from exc
         self._listener.listen(16)
         self._listener.setblocking(False)
+        # Fork-safety: never leak the healthz listener into match workers.
+        self._listener.set_inheritable(False)
         self.requests_served = 0
         self.errors = 0
 

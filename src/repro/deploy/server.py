@@ -41,6 +41,7 @@ from dataclasses import asdict, dataclass, field
 from repro.core.bootstrap import format_address
 from repro.core.events import Event
 from repro.core.sharding import ShardedEventBus
+from repro.core.workers import DEFAULT_START_METHOD, WorkerPoolExecutor
 from repro.deploy.edge import BackpressureGuard, CapacityAuthenticator, EdgeStats
 from repro.deploy.healthz import HealthzEndpoint
 from repro.discovery.auth import Authenticator
@@ -80,6 +81,14 @@ class ServerConfig:
     directed_beacons: bool = True
     #: Addresses beaconed even before any member joins (bootstrap seeds).
     broadcast_peers: list[tuple[str, int]] = field(default_factory=list)
+    #: Match-worker processes (0 = inline matching on the core thread).
+    #: Requires a sharded bus (``cell.shards > 1``); the pool is spawned
+    #: in :meth:`CellServer.start`, respawned by the guard sweep when a
+    #: worker dies, and drained in :meth:`CellServer.stop`.
+    workers: int = 0
+    #: Worker start method; ``spawn`` is the fork-safe default (workers
+    #: inherit none of the server's sockets or pollables).
+    worker_start_method: str = DEFAULT_START_METHOD
 
     def __post_init__(self) -> None:
         if self.guard_period_s <= 0:
@@ -88,6 +97,9 @@ class ServerConfig:
         if self.audit_tail < 0:
             raise ConfigurationError(
                 f"audit_tail must be >= 0, got {self.audit_tail}")
+        if self.workers < 0:
+            raise ConfigurationError(
+                f"workers must be >= 0, got {self.workers}")
 
 
 class CellServer:
@@ -140,6 +152,18 @@ class CellServer:
                 Filter.for_type_prefix("smc.member"),
                 self._on_membership_change)
 
+        #: Match-worker pool; built in :meth:`start` so worker processes
+        #: are spawned only once the deployment is actually live.
+        self.worker_pool: WorkerPoolExecutor | None = None
+        if config.workers:
+            if not isinstance(self.cell.bus, ShardedEventBus):
+                raise ConfigurationError(
+                    "match workers require a sharded bus — set "
+                    f"cell.shards > 1 (got workers={config.workers})")
+            if self.cell.bus.sharded.engine_spec is None:
+                raise ConfigurationError(
+                    "match workers need a named engine to build replicas")
+
         self._guard_timer = None
         self._started = False
         self._started_at: float | None = None
@@ -156,8 +180,18 @@ class CellServer:
         if self.healthz is not None:
             self.scheduler.register_pollable(self.healthz)
         self.cell.start()
+        if self.config.workers:
+            self.worker_pool = WorkerPoolExecutor(
+                self.cell.bus.sharded, self.config.workers,
+                start_method=self.config.worker_start_method)
         self._guard_timer = self.scheduler.every(self.config.guard_period_s,
-                                                 self.guard.sweep)
+                                                 self._sweep)
+
+    def _sweep(self) -> None:
+        """One guard tick: edge backpressure plus worker supervision."""
+        self.guard.sweep()
+        if self.worker_pool is not None:
+            self.worker_pool.ensure_alive()
 
     def run_for(self, duration_s: float) -> None:
         """Drive the cell for a bounded wall-clock slice (harness mode)."""
@@ -176,6 +210,11 @@ class CellServer:
         if self._guard_timer is not None:
             self._guard_timer.cancel()
             self._guard_timer = None
+        if self.worker_pool is not None:
+            # Drain the pool first: matching falls back to the host's own
+            # engines (always fully registered), then workers exit.
+            self.worker_pool.close()
+            self.worker_pool = None
         self.cell.stop()
         self.scheduler.stop()
 
@@ -255,6 +294,8 @@ class CellServer:
         if isinstance(self.cell.bus, ShardedEventBus):
             snapshot["shard_loads"] = self.cell.bus.shard_loads()
             snapshot["shard_events"] = self.cell.bus.sharded.shard_events()
+        if self.worker_pool is not None:
+            snapshot["workers"] = self.worker_pool.stats_dict()
         if self.cell.autonomic is not None:
             tail = list(self.cell.autonomic.audit)[-self.config.audit_tail:]
             snapshot["autonomic"] = {

@@ -69,6 +69,10 @@ class UdpTransport(Transport):
         self._directed_only = directed_only
         self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._socket.setblocking(False)
+        # Fork-safety: match workers (and any other child) must never
+        # inherit the cell's sockets — PEP 446 makes this the default,
+        # but the guarantee is load-bearing here, so state it.
+        self._socket.set_inheritable(False)
         try:
             self._socket.bind((bind_host, bind_port))
         except OSError as exc:
@@ -84,6 +88,7 @@ class UdpTransport(Transport):
         if listen_for_broadcast:
             self._broadcast_socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
             self._broadcast_socket.setblocking(False)
+            self._broadcast_socket.set_inheritable(False)
             self._broadcast_socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
             try:
                 self._broadcast_socket.bind((bind_host, discovery_port))

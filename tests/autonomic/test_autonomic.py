@@ -232,6 +232,34 @@ class TestShardRebalancer:
         assert rebalancer.tick(0.0) == []
         assert not matcher.splits()
 
+    def test_event_sense_levels_match_work(self):
+        """``sense="events"`` splits on actual per-shard match traffic —
+        the per-worker load view when a WorkerPoolExecutor is attached,
+        making split_class the pool's load-levelling actuator."""
+        matcher = build_skewed_matcher()
+        rebalancer = ShardRebalancer(matcher, hot_ratio=2.0,
+                                     min_fragments=8, sense="events")
+        batch = [{"ward": f"w-{index % 16}", "hr": 60 + index % 40}
+                 for index in range(48)]
+        # First tick only observes (a delta needs two samples), even on a
+        # skewed table — events, not fragments, drive this sense.
+        assert rebalancer.tick(0.0) == []
+        matcher.match_batch_ids(batch)
+        (act,) = rebalancer.tick(1.0)
+        assert act.action == "split_class"
+        assert act.detail["sense"] == "events"
+        # The same traffic now spreads its match work across shards.
+        before = matcher.shard_events()
+        matcher.match_batch_ids(batch)
+        deltas = [now - then
+                  for now, then in zip(matcher.shard_events(), before)]
+        assert sum(1 for delta in deltas if delta) > 1
+        assert rebalancer.tick(2.0) == []          # settles once split
+
+    def test_sense_validated(self):
+        with pytest.raises(ConfigurationError):
+            ShardRebalancer(ShardedMatcher(4), sense="vibes")
+
 
 class TestManager:
     def test_tick_records_audit_and_samples(self):

@@ -1,0 +1,304 @@
+"""Worker-pool differential suite: N processes are indistinguishable
+from none.
+
+The worker pool bets that the match phase can leave the process while
+dispatch cannot.  This suite pins the bet the same way the sharding suite
+does — from below and above:
+
+* **plan codec** — Hypothesis roundtrips MatchPlan through the TLV codec;
+* **executor level** — `InlineExecutor` ≡ `WorkerPoolExecutor` ≡ the
+  brute-force oracle across shards {1, 2, 8} × workers {0, 2, 4}, with
+  mid-stream registration churn and a live `split_class` actuation while
+  workers are running (the deltas must re-route the replicas, not desync
+  them);
+* **failure level** — a SIGKILLed worker costs nothing but a respawn:
+  results stay exact (inline fallback on the host's always-registered
+  engines), and `ensure_alive` restores the pool.
+
+Pools are expensive to spawn, so the suite builds them once per module
+and moves them between tables with ``rebind`` — which is itself the
+RESET/snapshot protocol under test.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sharding import ShardedEventBus, ShardedMatcher
+from repro.core.workers import WorkerPoolExecutor, available_cores
+from repro.errors import ConfigurationError
+from repro.ids import service_id_from_name
+from repro.matching.engine import BruteForceMatcher
+from repro.matching.filters import Constraint, Filter, Op, Subscription
+from repro.matching.plan import InlineExecutor, MatchPlan, decode_plan, \
+    encode_plan
+from repro.sim.kernel import Simulator
+
+from tests.matching.strategies import ATTR_NAMES, attribute_maps, filters
+
+SID = service_id_from_name("worker-diff")
+SHARD_COUNTS = (1, 2, 8)
+WORKER_COUNTS = (2, 4)
+
+subscription_tables = st.lists(
+    st.lists(filters(), min_size=1, max_size=3),
+    min_size=1, max_size=8)
+
+event_streams = st.lists(attribute_maps(), min_size=1, max_size=10)
+
+
+def _subscribe_all(engines, table, offset=0):
+    for index, filter_list in enumerate(table):
+        subscription = Subscription(offset + index + 1, SID, filter_list)
+        for engine in engines:
+            engine.subscribe(subscription)
+
+
+@pytest.fixture(scope="module")
+def pools():
+    """One long-lived pool per worker count, moved between tables by
+    ``rebind`` — spawning processes per Hypothesis example would drown
+    the suite in fork/exec time."""
+    built = {workers: WorkerPoolExecutor(ShardedMatcher(2, "forwarding"),
+                                         workers, recv_timeout_s=20.0)
+             for workers in WORKER_COUNTS}
+    yield built
+    for pool in built.values():
+        pool.close()
+
+
+class TestPlanCodec:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 1000), st.integers(0, 2 ** 40),
+           st.lists(st.tuples(st.integers(0, 4096), attribute_maps()),
+                    max_size=8))
+    def test_roundtrip(self, shard, epoch, pairs):
+        plan = MatchPlan(shard, epoch, [i for i, _ in pairs],
+                         [attrs for _, attrs in pairs])
+        decoded, pos = decode_plan(encode_plan(plan))
+        assert decoded == plan
+        assert pos == len(encode_plan(plan))
+
+    def test_inline_executor_is_the_host_path(self):
+        matcher = ShardedMatcher(4, "forwarding")
+        assert isinstance(matcher.executor, InlineExecutor)
+        _subscribe_all([matcher], [[Filter([Constraint("a", Op.GT, 0)])]])
+        assert matcher.match_batch_ids([{"a": 1}, {"a": -1}]) == [[1], []]
+
+
+class TestWorkerDifferential:
+    """shards {1,2,8} × workers {0,2,4} × oracle, one example at a time.
+
+    "workers 0" is the plain matcher with its default InlineExecutor —
+    the exact pre-refactor path — so every assertion pins three
+    executions of the same table to the oracle at once.
+    """
+
+    def _check(self, pools, table, stream, extra=None):
+        oracle = BruteForceMatcher()
+        _subscribe_all([oracle], table)
+        expected = [[s.sub_id for s in oracle.match(attrs)]
+                    for attrs in stream]
+        for shards in SHARD_COUNTS:
+            inline = ShardedMatcher(shards, "forwarding")
+            _subscribe_all([inline], table)
+            assert inline.match_batch_ids(stream) == expected
+            for workers, pool in pools.items():
+                matcher = ShardedMatcher(shards, "forwarding")
+                fallbacks = pool.stats.inline_fallbacks
+                if extra is None or not extra(pool, matcher, table):
+                    _subscribe_all([matcher], table)
+                    pool.rebind(matcher)
+                assert matcher.match_batch_ids(stream) == expected, \
+                    f"shards={shards} workers={workers}"
+                # The workers really executed: nothing fell back inline.
+                assert pool.stats.inline_fallbacks == fallbacks
+
+    @settings(max_examples=25, deadline=None)
+    @given(subscription_tables, event_streams)
+    def test_pool_agrees_with_inline_and_oracle(self, pools, table, stream):
+        self._check(pools, table, stream)
+
+    @settings(max_examples=25, deadline=None)
+    @given(subscription_tables, event_streams)
+    def test_delta_path_agrees_with_snapshot_path(self, pools, table,
+                                                  stream):
+        """Subscribing after rebind streams deltas to live workers; the
+        result must equal the snapshot bootstrap (previous test)."""
+        def subscribe_after_bind(pool, matcher, table_):
+            pool.rebind(matcher)
+            _subscribe_all([matcher], table_)
+            return True
+        self._check(pools, table, stream, extra=subscribe_after_bind)
+
+    @settings(max_examples=20, deadline=None)
+    @given(subscription_tables, subscription_tables, event_streams,
+           st.data())
+    def test_mid_stream_churn(self, pools, table, late_table, stream, data):
+        """Batches interleaved with subscribe/unsubscribe churn stay
+        oracle-exact: every delta reached the right replica in order."""
+        to_remove = sorted(data.draw(st.sets(
+            st.integers(1, len(table)), max_size=len(table) - 1)))
+        for shards, workers in ((2, 2), (8, 4)):
+            pool = pools[workers]
+            oracle = BruteForceMatcher()
+            matcher = ShardedMatcher(shards, "forwarding")
+            _subscribe_all([oracle, matcher], table)
+            pool.rebind(matcher)
+
+            fallbacks = pool.stats.inline_fallbacks
+            expected = [[s.sub_id for s in oracle.match(a)] for a in stream]
+            assert matcher.match_batch_ids(stream) == expected
+
+            for sub_id in to_remove:                    # churn down...
+                oracle.unsubscribe(sub_id)
+                matcher.unsubscribe(sub_id)
+            _subscribe_all([oracle, matcher], late_table,   # ...and up
+                           offset=len(table))
+            expected = [[s.sub_id for s in oracle.match(a)] for a in stream]
+            assert matcher.match_batch_ids(stream) == expected
+            assert pool.stats.inline_fallbacks == fallbacks
+
+    def test_split_class_while_workers_live(self, pools):
+        """The rebalancer's actuator re-routes worker replicas live."""
+        pool = pools[4]
+        oracle = BruteForceMatcher()
+        matcher = ShardedMatcher(8, "forwarding")
+        table = [[Filter([Constraint("hr", Op.EQ, index % 6),
+                          Constraint("a", Op.GT, index % 4)])]
+                 for index in range(24)]
+        _subscribe_all([oracle, matcher], table)
+        pool.rebind(matcher)
+        stream = [{"hr": i % 6, "a": i % 5, "b": i} for i in range(24)]
+
+        fallbacks = pool.stats.inline_fallbacks
+        expected = [[s.sub_id for s in oracle.match(a)] for a in stream]
+        assert matcher.match_batch_ids(stream) == expected
+
+        moved = matcher.split_class(frozenset({"hr", "a"}), "hr")
+        assert moved == 24
+        assert matcher.match_batch_ids(stream) == expected
+        assert pool.stats.inline_fallbacks == fallbacks
+
+    def test_sharded_bus_rides_the_pool(self, pools):
+        """End to end through ShardedEventBus.publish_batch: BusStats
+        invariants hold whatever executes the match phase."""
+        from repro.core.events import Event
+
+        def drive(executor_pool):
+            sim = Simulator()
+            bus = ShardedEventBus(sim, 4)
+            if executor_pool is not None:
+                executor_pool.rebind(bus.sharded)
+            inboxes = {}
+            for index in range(8):
+                inboxes[index + 1] = []
+                bus.subscribe_local(
+                    Filter([Constraint("hr", Op.GT, index)]),
+                    inboxes[index + 1].append)
+            events = [Event("vitals", {"hr": i % 12}, SID, i, 0.0)
+                      for i in range(30)]
+            bus.publish_batch(events)
+            stats = bus.stats
+            assert stats.published == stats.matched + stats.unmatched \
+                + stats.duplicates_dropped + stats.from_unknown_member
+            return {k: [e.seqno for e in v] for k, v in inboxes.items()}, \
+                stats
+
+        inline_boxes, inline_stats = drive(None)
+        pool_boxes, pool_stats = drive(pools[2])
+        assert pool_boxes == inline_boxes
+        assert (pool_stats.published, pool_stats.matched,
+                pool_stats.unmatched) == (inline_stats.published,
+                                          inline_stats.matched,
+                                          inline_stats.unmatched)
+
+
+class TestWorkerFailure:
+    def _bound_pool(self, workers=2, shards=4):
+        matcher = ShardedMatcher(shards, "forwarding")
+        _subscribe_all([matcher],
+                       [[Filter([Constraint("hr", Op.GT, index)])]
+                        for index in range(12)])
+        pool = WorkerPoolExecutor(matcher, workers, recv_timeout_s=10.0)
+        return matcher, pool
+
+    def test_sigkilled_worker_costs_only_a_respawn(self):
+        matcher, pool = self._bound_pool()
+        stream = [{"hr": i} for i in range(20)]
+        with pool:
+            expected = matcher.match_batch_ids(stream)
+            for victim in pool.worker_pids():
+                os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 5.0
+            while any(p.is_alive() for p in pool._procs) \
+                    and time.monotonic() < deadline:
+                time.sleep(0.01)
+            # Exact results straight through the massacre...
+            assert matcher.match_batch_ids(stream) == expected
+            assert pool.stats.respawns >= 1
+            # ...and the supervisor restores full strength.
+            assert pool.ensure_alive() == pool.workers
+            assert matcher.match_batch_ids(stream) == expected
+            assert all(pool.stats_dict()["alive"])
+
+    def test_close_restores_inline_execution(self):
+        matcher, pool = self._bound_pool()
+        stream = [{"hr": i} for i in range(20)]
+        expected = matcher.match_batch_ids(stream)
+        pool.close()
+        assert isinstance(matcher.executor, InlineExecutor)
+        assert matcher.match_batch_ids(stream) == expected
+        # Closing twice is a no-op; the matcher can churn freely after.
+        pool.close()
+        matcher.unsubscribe(1)
+
+    def test_rebind_releases_the_previous_matcher(self):
+        matcher, pool = self._bound_pool()
+        with pool:
+            other = ShardedMatcher(2, "forwarding")
+            pool.rebind(other)
+            assert isinstance(matcher.executor, InlineExecutor)
+            assert other.executor is pool
+            # The old matcher's delta sink is detached: churn is local.
+            matcher.unsubscribe(1)
+            assert pool.stats_dict()["queue_depth"] == [0] * pool.workers
+
+    def test_pool_requires_a_named_engine(self):
+        from repro.matching.engine import make_engine
+        opaque = ShardedMatcher(2, lambda: make_engine("forwarding"))
+        with pytest.raises(ConfigurationError):
+            WorkerPoolExecutor(opaque, 2)
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPoolExecutor(ShardedMatcher(2, "forwarding"), 0)
+
+    def test_one_delta_sink_at_a_time(self):
+        matcher, pool = self._bound_pool()
+        with pool:
+            with pytest.raises(ConfigurationError):
+                matcher.attach_delta_sink(lambda *a: None)
+
+    def test_stats_shape(self):
+        matcher, pool = self._bound_pool(workers=2)
+        with pool:
+            matcher.match_batch_ids([{"hr": 5}] * 3)
+            stats = pool.stats_dict()
+            for key in ("workers", "alive", "pids", "executes", "plans",
+                        "respawns", "inline_fallbacks", "ipc_bytes_out",
+                        "ipc_bytes_in", "queue_depth", "epoch_lag",
+                        "worker_events"):
+                assert key in stats, key
+            assert stats["workers"] == 2
+            assert stats["executes"] >= 1
+            assert stats["ipc_bytes_out"] > 0
+            assert len(stats["alive"]) == 2
+
+
+def test_available_cores_positive():
+    assert available_cores() >= 1

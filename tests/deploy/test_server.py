@@ -254,3 +254,125 @@ class TestCellServer:
         cell_server.close()
         assert cell_server.scheduler.pollable_count() == 0
         assert cell_server.transport.fileno() == -1
+
+    def test_sockets_are_not_inheritable(self):
+        """Fork-safety: no child (match workers included) may inherit the
+        cell's sockets — a worker crash must never be able to disturb,
+        or hold open, the parent's transport."""
+        config = ServerConfig(
+            cell=CellConfig(cell_name="no-leak"), discovery_port=0)
+        cell_server = CellServer(config)
+        try:
+            assert not cell_server.transport._socket.get_inheritable()
+            assert not cell_server.transport._broadcast_socket \
+                .get_inheritable()
+            assert not cell_server.healthz._listener.get_inheritable()
+        finally:
+            cell_server.close()
+
+
+class TestWorkerDeployment:
+    def _sharded_config(self, workers):
+        return ServerConfig(
+            cell=CellConfig(cell_name="worker-ward", shards=4,
+                            beacon_period_s=0.05, heartbeat_period_s=0.05,
+                            silent_after_s=0.5, purge_after_s=1.5,
+                            sweep_period_s=0.1),
+            discovery_port=0, guard_period_s=0.05, workers=workers)
+
+    def test_workers_require_sharded_bus(self):
+        config = ServerConfig(cell=CellConfig(cell_name="unsharded"),
+                              discovery_port=0, workers=2)
+        with pytest.raises(ConfigurationError):
+            CellServer(config)
+        with pytest.raises(ConfigurationError):
+            ServerConfig(cell=CellConfig(cell_name="x"), workers=-1)
+
+    def test_pool_lifecycle_and_crash_isolation(self):
+        """The server owns the pool: spawned at start, supervised by the
+        guard sweep, drained at stop — and a SIGKILLed worker cannot
+        disturb the parent's selector (healthz keeps answering, no
+        pollable appears or vanishes)."""
+        import os
+        import signal
+
+        cell_server = CellServer(self._sharded_config(workers=2))
+        try:
+            assert cell_server.worker_pool is None     # start() spawns it
+            cell_server.start()
+            pool = cell_server.worker_pool
+            assert pool is not None and pool.workers == 2
+            pollables_before = cell_server.scheduler.pollable_count()
+
+            snapshot = cell_server.snapshot()
+            assert snapshot["workers"]["workers"] == 2
+            assert len(snapshot["workers"]["alive"]) == 2
+
+            victim = pool.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            # The guard sweep notices and respawns; the selector loop
+            # never stutters while it happens.
+            assert wait(cell_server,
+                        lambda: pool.stats.respawns >= 1
+                        and all(pool.stats_dict()["alive"]))
+            assert cell_server.scheduler.pollable_count() \
+                == pollables_before
+            snapshot = read_healthz(
+                cell_server.healthz_address,
+                pump=lambda: cell_server.run_for(0.2))
+            assert snapshot["workers"]["respawns"] >= 1
+            assert pool.worker_pids()[0] != victim
+
+            pids = [pid for pid in pool.worker_pids() if pid is not None]
+            cell_server.stop()
+            assert cell_server.worker_pool is None     # drained
+            for pid in pids:
+                with pytest.raises(OSError):
+                    os.kill(pid, 0)                    # really gone
+        finally:
+            cell_server.close()
+
+
+class TestDeviceBatching:
+    def test_batched_publishes_ride_one_batch_frame(self):
+        """A batching device coalesces N publishes into one BATCH send
+        instead of N packets — the client-harness half of the batch
+        pipeline."""
+        config = ServerConfig(
+            cell=CellConfig(cell_name="batch-ward", beacon_period_s=0.05,
+                            heartbeat_period_s=0.05, silent_after_s=0.5,
+                            purge_after_s=1.5, sweep_period_s=0.1),
+            discovery_port=0, guard_period_s=0.1)
+        cell_server = CellServer(config)
+        device = None
+        try:
+            cell_server.start()
+            device = make_devices(cell_server.scheduler, cell_server.address,
+                                  1, announce_retry_s=0.05, batch=8)[0]
+            device.start()
+            assert wait(cell_server, lambda: device.joined)
+            # The bus publishes its own smc.member.* events on join.
+            base = cell_server.cell.bus.stats.published
+
+            for index in range(7):
+                assert device.publish("vitals", {"hr": 60 + index}) is None
+            assert device.pending == 7                 # buffered, not sent
+            assert device.client.stats.published == 0
+            device.publish("vitals", {"hr": 99})       # 8th: auto-flush
+            assert device.pending == 0
+            assert device.client.stats.batches_sent >= 1
+            assert device.client.stats.published == 8
+            assert wait(cell_server,
+                        lambda: cell_server.cell.bus.stats.published
+                        >= base + 8)
+
+            device.publish("vitals", {"hr": 42})       # partial buffer...
+            device.leave()                             # ...flushed on leave
+            assert device.pending == 0
+            assert wait(cell_server,
+                        lambda: cell_server.cell.bus.stats.published
+                        >= base + 9)
+        finally:
+            if device is not None:
+                device.close()
+            cell_server.close()
