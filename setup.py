@@ -1,10 +1,31 @@
-"""Setup shim.
+"""Packaging for the SMC event-service reproduction.
 
 The offline environment has setuptools but no ``wheel`` package, so PEP 660
-editable installs (which build an editable wheel) fail; this shim keeps
-``python setup.py develop`` and legacy ``pip install -e .`` working.
+editable installs (which build an editable wheel) fail; keeping everything
+in classic ``setup.py`` form preserves ``python setup.py develop`` and
+legacy ``pip install -e .``.
+
+Installing exposes ``repro-lint``, the repo's AST invariant analyzer
+(equivalent to ``python -m repro.analysis``); see the "Enforced
+invariants" section of ROADMAP.md for the rule catalogue.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-smc",
+    version="0.8.0",
+    description=(
+        "Reproduction of 'An Event Service Supporting Autonomic Management "
+        "of Ubiquitous Systems for e-Health' (ICDCS-W 2006): a self-managed "
+        "cell event bus with content-based matching, windowed reliable "
+        "transport, an autonomic control plane, and a deployment mode."),
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro-lint = repro.analysis.cli:main",
+        ],
+    },
+)

@@ -1,0 +1,24 @@
+"""repro-lint: the repository's invariants as executable checks.
+
+Seven PRs of this reproduction accumulated rules that previously lived
+only in reviewer memory — the simulated clock discipline, RFC-1982 serial
+arithmetic, the zero-copy wire path, codec symmetry, and worker fork
+safety.  This package turns each into an AST-visitor rule with per-line
+suppressions, a ``file:line`` findings report, and a CLI
+(``python -m repro.analysis`` / ``repro-lint``) that exits non-zero on
+findings so CI can gate on it.  The paper's autonomic thesis applied to
+the codebase itself: the system polices its own health, including the
+health of its source.
+
+Public surface:
+
+* :func:`repro.analysis.cli.main` — the CLI entry point;
+* :class:`repro.analysis.engine.Analyzer` /
+  :class:`repro.analysis.engine.Finding` — programmatic use;
+* :data:`repro.analysis.rules.ALL_RULES` — the rule catalogue.
+"""
+
+from repro.analysis.engine import Analyzer, Finding, Rule
+from repro.analysis.rules import ALL_RULES
+
+__all__ = ["ALL_RULES", "Analyzer", "Finding", "Rule"]

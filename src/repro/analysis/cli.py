@@ -1,0 +1,95 @@
+"""The ``repro-lint`` command line.
+
+Usage::
+
+    python -m repro.analysis [paths...]       # default: src
+    repro-lint --list-rules
+    repro-lint --select RL001,RL003 src tests
+
+Exit status composes with CI: 0 when the tree is clean, 1 when any
+finding survives suppression, 2 on usage errors.  Findings print as
+``path:line:col: RLxxx message`` so editors and CI annotations can anchor
+them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from typing import Sequence
+
+from repro.analysis.engine import Analyzer, Rule
+from repro.analysis.rules import ALL_RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant analyzer for this repository: "
+                    "enforces the wall-clock, serial-arithmetic, zero-copy, "
+                    "codec-symmetry and fork-safety rules the past PRs paid "
+                    "for.  Suppress a finding with "
+                    "'# repro-lint: ignore[RLxxx] <why>' on or above the "
+                    "flagged line.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze (default: src)")
+    parser.add_argument("--select", metavar="IDS",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def _select_rules(spec: str | None) -> list[Rule]:
+    if spec is None:
+        return list(ALL_RULES)
+    wanted = {part.strip().upper() for part in spec.split(",") if part.strip()}
+    by_id = {rule.rule_id: rule for rule in ALL_RULES}
+    unknown = wanted - set(by_id)
+    if unknown:
+        raise SystemExit(
+            f"repro-lint: unknown rule id(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(by_id))})")
+    return [by_id[rule_id] for rule_id in sorted(wanted)]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+
+    try:
+        rules = _select_rules(args.select)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    analyzer = Analyzer(rules,
+                        known_ids=[rule.rule_id for rule in ALL_RULES])
+    findings = analyzer.run(args.paths)
+    try:
+        for finding in findings:
+            print(finding.render())
+    except BrokenPipeError:                            # pragma: no cover
+        return 1 if findings else 0
+    if findings:
+        by_rule: dict[str, int] = {}
+        for finding in findings:
+            by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+        summary = ", ".join(f"{rule_id} x{count}"
+                            for rule_id, count in sorted(by_rule.items()))
+        print(f"repro-lint: {len(findings)} finding"
+              f"{'s' if len(findings) != 1 else ''} ({summary})")
+        return 1
+    print("repro-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":                             # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,291 @@
+"""The rule engine behind ``repro-lint``.
+
+The engine is deliberately small: it loads every ``*.py`` file under the
+paths it is given, parses each into an AST exactly once, extracts the
+per-line suppression table, and hands the resulting :class:`Project` to
+each registered rule.  Rules come in two shapes:
+
+* **per-module** rules implement :meth:`Rule.check_module` and see one
+  file at a time (most invariants are local);
+* **whole-project** rules additionally implement
+  :meth:`Rule.check_project` and see every analyzed module at once
+  (import-reachability checks need the graph).
+
+Suppressions
+============
+
+A finding is suppressed by a comment naming its rule id, either on the
+flagged line itself or on a standalone comment line directly above it::
+
+    total = bytes(view)        # repro-lint: ignore[RL003] escapes decode layer
+
+    # repro-lint: ignore[RL001] wall-clock measurement is the point here
+    elapsed = wallclock.perf_counter() - start
+
+Several ids may be listed (``ignore[RL001,RL003]``).  A suppression that
+names an id no rule defines is itself reported under ``RL000`` — a typoed
+suppression must not silently disable nothing.
+
+Path scoping
+============
+
+Rules scope themselves with *path patterns* matched against each file's
+path relative to the scanned root, with ``/`` separators:
+
+* ``"transport/wire.py"`` — suffix match on whole path segments, so it
+  matches ``src/repro/transport/wire.py`` as well as a fixture tree's
+  ``transport/wire.py``, but never ``not_wire.py``;
+* ``"deploy/"`` — matches any file under a directory named ``deploy``.
+
+Relative matching keeps the rules equally at home over the real tree and
+over the test fixture trees that prove each rule fires.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+#: Engine-level findings (parse failures, bad suppressions) carry this id.
+ENGINE_RULE_ID = "RL000"
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([^\]]*)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a file:line."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus its suppression table."""
+
+    path: str                   # as given / discovered (for reports)
+    rel: str                    # relative to the scanned root, posix slashes
+    source: str
+    tree: ast.Module
+    #: line number -> set of rule ids suppressed on that line.
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: line number of each suppression comment -> ids it names (for RL000).
+    suppression_sites: dict[int, set[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        ids = self.suppressions.get(line)
+        return ids is not None and (rule_id in ids or "*" in ids)
+
+
+@dataclass
+class Project:
+    """Everything the analyzer loaded, for whole-project rules."""
+
+    modules: list[ModuleInfo]
+
+    def by_pattern(self, pattern: str) -> list[ModuleInfo]:
+        return [mod for mod in self.modules if path_matches(mod.rel, pattern)]
+
+
+class Rule:
+    """Base class for repro-lint rules.
+
+    Subclasses set :attr:`rule_id` and :attr:`title`, and override
+    :meth:`check_module` (and :meth:`check_project` for cross-file
+    invariants).  ``check_*`` yields raw findings; the engine applies the
+    suppression table afterwards, so rules never deal with comments.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        return Finding(module.path, getattr(node, "lineno", 1),
+                       getattr(node, "col_offset", 0) + 1, self.rule_id, message)
+
+
+def path_matches(rel: str, pattern: str) -> bool:
+    """Match a root-relative posix path against a rule scope pattern."""
+    haystack = "/" + rel
+    if pattern.endswith("/"):
+        return ("/" + pattern) in haystack + "/"
+    return haystack.endswith("/" + pattern)
+
+
+def matches_any(rel: str, patterns: Iterable[str]) -> bool:
+    return any(path_matches(rel, pattern) for pattern in patterns)
+
+
+def identifier_segments(name: str) -> list[str]:
+    """Split an identifier into lowercase word segments.
+
+    ``_next_seq`` -> ``["next", "seq"]``; used by name-based rules so that
+    ``sack`` or ``dup_acks`` never false-positive a ``seq``/``ack`` check.
+    """
+    return [segment for segment in name.lower().split("_") if segment]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _parse_suppressions(source: str) -> tuple[dict[int, set[str]], dict[int, set[str]]]:
+    """Build (effective-line -> ids, comment-line -> ids) tables.
+
+    Only genuine COMMENT tokens count — prose that merely *mentions* the
+    suppression syntax inside a docstring must not suppress anything.
+    """
+    effective: dict[int, set[str]] = {}
+    sites: dict[int, set[str]] = {}
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return effective, sites          # load_module reports the parse error
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        lineno = token.start[0]
+        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        sites[lineno] = ids
+        effective.setdefault(lineno, set()).update(ids)
+        text = lines[lineno - 1] if lineno <= len(lines) else ""
+        if text.strip().startswith("#"):
+            # A standalone suppression comment covers the line below it.
+            effective.setdefault(lineno + 1, set()).update(ids)
+    return effective, sites
+
+
+def load_module(path: str, rel: str) -> tuple[ModuleInfo | None, Finding | None]:
+    """Parse one file; returns (module, None) or (None, parse finding)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        return None, Finding(path, 1, 1, ENGINE_RULE_ID, f"unreadable file: {exc}")
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return None, Finding(path, exc.lineno or 1, (exc.offset or 0) or 1,
+                             ENGINE_RULE_ID, f"syntax error: {exc.msg}")
+    suppressions, sites = _parse_suppressions(source)
+    return ModuleInfo(path=path, rel=rel, source=source, tree=tree,
+                      suppressions=suppressions,
+                      suppression_sites=sites), None
+
+
+def discover_files(paths: Iterable[str]) -> list[tuple[str, str]]:
+    """Expand CLI path arguments into (path, root-relative path) pairs.
+
+    A directory argument is walked recursively for ``*.py`` files, each
+    made relative to the directory's *parent* — the root's own name stays
+    a path component, so ``repro-lint benchmarks`` still sees files "under
+    benchmarks/" and the wall-clock exemption holds.  A file argument
+    keeps the whole given path for the same reason.  Hidden directories
+    and ``__pycache__`` are skipped.
+    """
+    found: list[tuple[str, str]] = []
+    for arg in paths:
+        if os.path.isfile(arg):
+            found.append((arg, arg.replace(os.sep, "/")))
+            continue
+        root_name = os.path.basename(os.path.abspath(arg))
+        for dirpath, dirnames, filenames in os.walk(arg):
+            dirnames[:] = sorted(name for name in dirnames
+                                 if not name.startswith(".")
+                                 and name != "__pycache__")
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                full = os.path.join(dirpath, filename)
+                rel = "/".join((root_name,
+                                os.path.relpath(full, arg).replace(os.sep, "/")))
+                found.append((full, rel))
+    return found
+
+
+class Analyzer:
+    """Runs a rule set over a file set and applies suppressions."""
+
+    def __init__(self, rules: Iterable[Rule],
+                 known_ids: Iterable[str] | None = None) -> None:
+        self.rules = list(rules)
+        ids = [rule.rule_id for rule in self.rules]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate rule ids: {ids}")
+        # ``known_ids`` lets a --select'ed subset run without misreporting
+        # the other rules' suppressions as typos.
+        self._known_ids = (set(ids) | set(known_ids or ())
+                           | {ENGINE_RULE_ID, "*"})
+
+    def run(self, paths: Iterable[str]) -> list[Finding]:
+        modules: list[ModuleInfo] = []
+        findings: list[Finding] = []
+        for path, rel in discover_files(paths):
+            module, parse_finding = load_module(path, rel)
+            if parse_finding is not None:
+                findings.append(parse_finding)
+            if module is not None:
+                modules.append(module)
+        project = Project(modules=modules)
+
+        raw: list[tuple[ModuleInfo | None, Finding]] = []
+        by_path = {module.path: module for module in modules}
+        for rule in self.rules:
+            for module in modules:
+                for finding in rule.check_module(module):
+                    raw.append((module, finding))
+            for finding in rule.check_project(project):
+                raw.append((by_path.get(finding.path), finding))
+
+        for module, finding in raw:
+            if module is not None and module.is_suppressed(finding.rule_id,
+                                                           finding.line):
+                continue
+            findings.append(finding)
+
+        findings.extend(self._audit_suppressions(modules))
+        return sorted(set(findings), key=Finding.sort_key)
+
+    def _audit_suppressions(self, modules: list[ModuleInfo]) -> Iterator[Finding]:
+        """A suppression naming an unknown rule id is itself a finding."""
+        for module in modules:
+            for lineno, ids in sorted(module.suppression_sites.items()):
+                for rule_id in sorted(ids - self._known_ids):
+                    yield Finding(module.path, lineno, 1, ENGINE_RULE_ID,
+                                  f"suppression names unknown rule id "
+                                  f"{rule_id!r}")

@@ -285,12 +285,28 @@ class Subscription:
 
 
 # -- wire codec ------------------------------------------------------------
+#
+# Same discipline as repro.transport.wire: every encode_X has a write_X
+# sibling that appends chunks to a caller-supplied list (the worker-pool
+# delta path frames subscriptions inside larger pipe messages) and a
+# decode_X inverse.  repro-lint RL004 holds the triples in lockstep.
+
+#: Interned one-byte operator chunks, so the writers never allocate for them.
+_OP_BYTES = {op: bytes((int(op),)) for op in Op}
+
+
+def write_constraint(out: list[bytes], constraint: Constraint) -> None:
+    """Append one constraint's wire chunks to ``out`` (no joining)."""
+    wire.write_str(out, constraint.name)
+    out.append(_OP_BYTES[constraint.op])
+    if constraint.op != Op.EXISTS:
+        wire.write_value(out, constraint.value)
+
 
 def encode_constraint(constraint: Constraint) -> bytes:
-    parts = [wire.encode_str(constraint.name), bytes((int(constraint.op),))]
-    if constraint.op != Op.EXISTS:
-        parts.append(wire.encode_value(constraint.value))
-    return b"".join(parts)
+    out: list[bytes] = []
+    write_constraint(out, constraint)
+    return b"".join(out)
 
 
 def decode_constraint(buf: bytes, offset: int = 0) -> tuple[Constraint, int]:
@@ -308,10 +324,17 @@ def decode_constraint(buf: bytes, offset: int = 0) -> tuple[Constraint, int]:
     return Constraint(name, op, value), pos
 
 
+def write_filter(out: list[bytes], filt: Filter) -> None:
+    """Append one filter's wire chunks to ``out`` (no joining)."""
+    wire.write_varint(out, len(filt))
+    for constraint in filt:
+        write_constraint(out, constraint)
+
+
 def encode_filter(filt: Filter) -> bytes:
-    parts = [wire.encode_varint(len(filt))]
-    parts.extend(encode_constraint(c) for c in filt)
-    return b"".join(parts)
+    out: list[bytes] = []
+    write_filter(out, filt)
+    return b"".join(out)
 
 
 def decode_filter(buf: bytes, offset: int = 0) -> tuple[Filter, int]:
@@ -323,12 +346,19 @@ def decode_filter(buf: bytes, offset: int = 0) -> tuple[Filter, int]:
     return Filter(constraints), pos
 
 
+def write_subscription(out: list[bytes], subscription: Subscription) -> None:
+    """Append one subscription's wire chunks to ``out`` (no joining)."""
+    wire.write_varint(out, subscription.sub_id)
+    out.append(subscription.subscriber.to_bytes48())
+    wire.write_varint(out, len(subscription.filters))
+    for filt in subscription.filters:
+        write_filter(out, filt)
+
+
 def encode_subscription(subscription: Subscription) -> bytes:
-    parts = [wire.encode_varint(subscription.sub_id),
-             subscription.subscriber.to_bytes48(),
-             wire.encode_varint(len(subscription.filters))]
-    parts.extend(encode_filter(f) for f in subscription.filters)
-    return b"".join(parts)
+    out: list[bytes] = []
+    write_subscription(out, subscription)
+    return b"".join(out)
 
 
 def decode_subscription(buf: bytes, offset: int = 0) -> tuple[Subscription, int]:

@@ -11,6 +11,19 @@ Layout (big-endian)::
     0        2     3     4      5          11       15       19         21      25
     | magic  | ver | typ | flag | sender6  | seq4   | ack4   | paylen2  | crc4  | payload...
 
+Packet types (the ``typ`` byte)::
+
+    DATA       reliable, sequenced payload (bus protocol inside)
+    ACK        cumulative acknowledgement, no payload (SACK block optional)
+    RAW        fire-and-forget payload (unacknowledged sensors)
+    BEACON     discovery: periodic presence broadcast by the SMC core
+    ANNOUNCE   discovery: device advertising itself
+    JOIN_REQ   discovery: device requesting admission
+    JOIN_ACK   discovery: admission granted
+    JOIN_NAK   discovery: admission refused (auth failure / at capacity)
+    HEARTBEAT  discovery: member liveness refresh
+    LEAVE      discovery: polite departure
+
 When the ``SACK`` flag is set, the payload begins with a selective-ack
 block — ``u8 count`` followed by ``count`` inclusive ``(start, end)``
 ``u32`` sequence ranges the receiver holds beyond its cumulative ack —
@@ -185,6 +198,7 @@ class Packet:
         if not payload.readonly:
             # Zero-copy slicing is only safe over an immutable backing
             # buffer; writable input (bytearray) is copied once here.
+            # repro-lint: ignore[RL003] mutable backing buffer: must copy
             payload = bytes(payload)
         header_no_crc = _HEADER.pack(magic, version, ptype, flags, sender6,
                                      seq, ack, paylen, 0)

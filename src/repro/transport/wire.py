@@ -59,6 +59,7 @@ def as_bytes(buf: Buffer) -> bytes:
     decode layer (device byte-protocols, user callbacks) must not alias
     the datagram buffer and must support the full bytes API.
     """
+    # repro-lint: ignore[RL003] this IS the documented escape boundary
     return buf if type(buf) is bytes else bytes(buf)
 
 _TAG_BOOL = 1
@@ -105,6 +106,11 @@ def encode_varint(value: int) -> bytes:
         else:
             out.append(byte)
             return bytes(out)
+
+
+def write_varint(out: list[bytes], value: int) -> None:
+    """Append a LEB128 unsigned integer's chunk to ``out`` (no joining)."""
+    out.append(encode_varint(value))
 
 
 def decode_varint(buf: Buffer, offset: int = 0) -> tuple[int, int]:
@@ -217,6 +223,7 @@ def decode_value(buf: Buffer, offset: int = 0) -> tuple[Value, int]:
             raise CodecError("truncated bytes")
         # The one deliberate copy: bytes values escape into long-lived
         # Event objects, so they must not alias the datagram buffer.
+        # repro-lint: ignore[RL003] value escapes the decode layer
         return bytes(buf[pos:pos + length]), pos + length
     raise CodecError(f"unknown value tag: {tag}")
 
@@ -251,6 +258,20 @@ def decode_str(buf: Buffer, offset: int = 0) -> tuple[str, int]:
         raise CodecError(f"invalid UTF-8: {exc}") from exc
 
 
+def write_frames(out: list[bytes], frames: Sequence[Buffer]) -> None:
+    """Append a frame list's chunks to ``out`` without joining.
+
+    The frames themselves are appended as-is (callers own their
+    lifetime); only the count and length prefixes are fresh chunks.
+    """
+    if len(frames) > MAX_FRAMES:
+        raise CodecError(f"too many frames in batch: {len(frames)}")
+    out.append(encode_varint(len(frames)))
+    for frame in frames:
+        out.append(encode_varint(len(frame)))
+        out.append(frame)
+
+
 def encode_frames(frames: Sequence[Buffer]) -> bytes:
     """Encode a list of opaque byte frames (batch framing).
 
@@ -259,13 +280,9 @@ def encode_frames(frames: Sequence[Buffer]) -> bytes:
     prefixed frames.  The frames themselves are opaque here — the bus
     protocol layer decides what they mean.
     """
-    if len(frames) > MAX_FRAMES:
-        raise CodecError(f"too many frames in batch: {len(frames)}")
-    parts = [encode_varint(len(frames))]
-    for frame in frames:
-        parts.append(encode_varint(len(frame)))
-        parts.append(frame)
-    return b"".join(parts)
+    out: list[bytes] = []
+    write_frames(out, frames)
+    return b"".join(out)
 
 
 def decode_frames(buf: Buffer, offset: int = 0) -> tuple[list[Buffer], int]:
@@ -337,6 +354,7 @@ def decode_attr_map(buf: Buffer, offset: int = 0) -> tuple[dict[str, Value], int
         # empty; bounded so name churn cannot grow it without limit.
         raw_name = buf[pos:end]
         if type(raw_name) is not bytes:
+            # repro-lint: ignore[RL003] intern-cache keys must be real bytes
             raw_name = bytes(raw_name)
         name = _NAME_CACHE.get(raw_name)
         if name is None:
@@ -392,6 +410,7 @@ def decode_attr_map(buf: Buffer, offset: int = 0) -> tuple[dict[str, Value], int
                 vlen, pos = decode_varint(buf, pos)
             if pos + vlen > size:
                 raise CodecError("truncated bytes")
+            # repro-lint: ignore[RL003] value escapes the decode layer
             value = bytes(buf[pos:pos + vlen])
             pos += vlen
         elif tag == _TAG_BOOL:

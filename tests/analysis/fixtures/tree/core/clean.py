@@ -1,0 +1,7 @@
+"""Clean fixture: none of the rules has anything to say here."""
+
+from matching.plan import build_plan
+
+
+def relay(scheduler, plan) -> None:
+    scheduler.call_later(0.5, build_plan, plan)

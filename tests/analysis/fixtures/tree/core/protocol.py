@@ -1,0 +1,17 @@
+"""RL004 fixture: an opcode table that drifted.
+
+===============  ==========================================
+opcode           body
+===============  ==========================================
+PUBLISH          encoded event
+DELIVER          encoded event
+===============  ==========================================
+"""
+
+import enum
+
+
+class BusOp(enum.IntEnum):
+    PUBLISH = 1
+    DELIVER = 2
+    GOSSIP = 3                                                  # RL004

@@ -1,0 +1,9 @@
+"""RL005 fixture: the worker hot path leaking pickle (planted bugs)."""
+
+import pickle                                                   # RL005 direct
+
+from matching.plan import build_plan
+
+
+def ship(plan) -> bytes:
+    return pickle.dumps(build_plan(plan))

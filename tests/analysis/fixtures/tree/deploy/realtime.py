@@ -1,0 +1,30 @@
+"""RL001/RL005 fixture: deploy/ may use wall-clock but must guard fds."""
+
+import socket
+import time
+
+
+def tick() -> float:
+    return time.time()          # exempt: deploy/ runs on real time
+
+
+def make_listener():
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)  # RL005
+    listener.bind(("127.0.0.1", 0))
+    return listener
+
+
+def make_guarded_listener():
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.set_inheritable(False)
+    return listener
+
+
+def make_suppressed_listener():
+    # repro-lint: ignore[RL005] fixture: inheritance is the point here
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    return listener
+
+
+def make_anonymous():
+    return socket.socket(socket.AF_INET, socket.SOCK_DGRAM)      # RL005

@@ -1,0 +1,6 @@
+"""RL005 fixture: transitively reachable module importing pickle."""
+
+
+def thaw(raw):
+    import cloudpickle                                          # RL005 transitive
+    return cloudpickle.loads(raw)

@@ -1,0 +1,7 @@
+"""RL005 fixture: reachable from workers; leaks pickle one hop deeper."""
+
+from matching import helpers
+
+
+def build_plan(raw):
+    return helpers.thaw(raw)

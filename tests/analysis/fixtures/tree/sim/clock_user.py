@@ -1,0 +1,29 @@
+"""RL001 fixture: sim-path code touching the wall clock (planted bugs)."""
+
+import time
+import time as wallclock
+
+from datetime import datetime
+from time import sleep                                          # RL001: banned from-import
+
+
+def read_clock() -> float:
+    return time.time()                                          # RL001
+
+
+def read_monotonic() -> float:
+    return wallclock.monotonic()                                # RL001
+
+
+def stamp() -> object:
+    return datetime.now()                                       # RL001
+
+
+def nap() -> None:
+    time.sleep(0.1)  # repro-lint: ignore[RL001] fixture: suppressed on line
+    # repro-lint: ignore[RL001] fixture: suppressed from the line above
+    time.sleep(0.2)
+
+
+def fine(scheduler) -> float:
+    return scheduler.now()

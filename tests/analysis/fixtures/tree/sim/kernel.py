@@ -1,0 +1,11 @@
+"""RL001 fixture: the exempt wall-clock seam (no findings expected)."""
+
+import time
+
+
+class RealtimeScheduler:
+    def now(self) -> float:
+        return time.monotonic()
+
+    def block(self, timeout: float) -> None:
+        time.sleep(timeout)

@@ -1,0 +1,38 @@
+"""RL002 fixture: raw seq/ack arithmetic in transport/ (planted bugs)."""
+
+_SEQ_MOD = 2 ** 32
+WINDOW = 32
+
+
+def serial_lt(a: int, b: int) -> bool:
+    half = _SEQ_MOD // 2
+    return (a < b and b - a < half) or (a > b and a - b > half)
+
+
+def misordered(seq: int, expected_seq: int) -> bool:
+    return seq < expected_seq                                   # RL002
+
+
+def window_gap(next_seq: int, last_ack: int) -> int:
+    return next_seq - last_ack                                  # RL002
+
+
+def suppressed_gap(next_seq: int, last_ack: int) -> int:
+    # repro-lint: ignore[RL002] fixture: wrap handled by caller
+    return next_seq - last_ack
+
+
+def range_check(seq: int) -> bool:
+    return 0 <= seq <= 0xFFFFFFFF       # exempt: literal-bound validation
+
+
+def mod_check(initial_seq: int) -> bool:
+    return 0 < initial_seq < _SEQ_MOD   # exempt: UPPER_CASE-bound validation
+
+
+def counter_check(dup_acks: int) -> bool:
+    return dup_acks >= 3                # exempt: not a sequence number
+
+
+def increment(seq: int) -> int:
+    return (seq + 1) % _SEQ_MOD or 1    # exempt: addition is not ordering

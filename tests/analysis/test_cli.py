@@ -1,0 +1,54 @@
+"""CLI tests: exit codes, report format, rule selection — the contract CI
+composes with (``repro-lint`` exits non-zero iff findings survive)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+
+FIXTURE_TREE = Path(__file__).parent / "fixtures" / "tree"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_exit_zero_and_clean_banner_on_clean_tree(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("def fine():\n    return 1\n")
+    assert main([str(tmp_path)]) == 0
+    assert "repro-lint: clean" in capsys.readouterr().out
+
+
+def test_exit_one_with_anchored_report_on_findings(capsys):
+    assert main([str(FIXTURE_TREE)]) == 1
+    out = capsys.readouterr().out
+    # file:line:col anchors, rule ids, and a per-rule summary line.
+    assert "transport/reliability.py:13:" in out
+    assert "RL002" in out
+    assert "repro-lint: 17 findings" in out
+    assert "RL001 x4" in out and "RL005 x4" in out
+
+
+def test_select_runs_only_named_rules(capsys):
+    assert main(["--select", "RL002", str(FIXTURE_TREE)]) == 1
+    out = capsys.readouterr().out
+    assert "RL002" in out
+    assert "RL001" not in out and "RL003" not in out
+    assert "2 findings" in out
+
+
+def test_select_unknown_rule_is_usage_error(capsys):
+    assert main(["--select", "RL042", str(FIXTURE_TREE)]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_list_rules_prints_catalogue(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        assert rule_id in out
+
+
+@pytest.mark.parametrize("target", ["src", "benchmarks", "examples"])
+def test_shipped_tree_is_clean(target, capsys):
+    # The CI gate: `python -m repro.analysis src/` (and friends) exit 0.
+    assert main([str(REPO_ROOT / target)]) == 0
+    assert "repro-lint: clean" in capsys.readouterr().out

@@ -1,0 +1,181 @@
+"""Codec exhaustiveness: the dynamic twin of repro-lint's RL004.
+
+RL004 statically requires every ``encode_X`` to ship with ``write_X`` and
+``decode_X`` siblings; this suite proves the siblings *agree*:
+
+* for every codec triple, ``b"".join(write_X parts) == encode_X(value)``
+  and ``decode_X`` inverts both — discovered by reflection, so a new
+  ``encode_X`` without a sample value here fails loudly;
+* every ``BusOp`` opcode has a frame builder whose output ``unframe``s
+  back to the same opcode and a body its parser inverts — asserted
+  against ``set(BusOp)``, so adding an opcode without wiring it up here
+  fails too.
+"""
+
+import inspect
+
+from repro.core import events, protocol
+from repro.core.events import Event
+from repro.core.protocol import BusOp
+from repro.ids import ServiceId
+from repro.matching import filters, plan
+from repro.matching.filters import Constraint, Filter, Op, Subscription
+from repro.matching.plan import MatchPlan
+from repro.transport import wire
+
+SENDER = ServiceId(0x0A0000011F90)
+
+EVENT = Event("health.hr.alarm",
+              {"hr": 184, "ok": False, "temp": 36.6,
+               "ward": "icu-3", "trace": b"\x00\xff\x10"},
+              sender=SENDER, seqno=41, timestamp=12.5)
+
+SUBSCRIPTION = Subscription(
+    7, SENDER,
+    [Filter([Constraint("type", Op.PREFIX, "health."),
+             Constraint("hr", Op.GT, 120)]),
+     Filter([Constraint("battery", Op.EXISTS)])])
+
+#: One representative value per codec triple, keyed by (module, suffix).
+#: ``test_every_encode_has_a_sample`` makes this table exhaustive: adding
+#: ``encode_foo`` anywhere in the codec modules without a sample here fails.
+SAMPLES = {
+    (wire, "varint"): [0, 1, 127, 128, 300, 2 ** 32],
+    (wire, "value"): [True, False, -17, 2 ** 40, 36.6, "hällo", b"\x00\x01"],
+    (wire, "str"): ["", "plain", "ünïcode"],
+    (wire, "frames"): [[], [b"a"], [b"one", b"", b"three" * 100]],
+    (wire, "attr_map"): [{}, {"hr": 72, "ok": True, "name": "x",
+                             "t": 36.6, "raw": b"\x00"}],
+    (events, "event"): [EVENT],
+    (plan, "plan"): [MatchPlan(shard=2, epoch=5, indexes=[0, 3],
+                               projections=[{"type": "a", "hr": 1},
+                                            {"type": "b", "ok": True}])],
+    (filters, "constraint"): [Constraint("hr", Op.GT, 100),
+                              Constraint("battery", Op.EXISTS)],
+    (filters, "filter"): [Filter(), Filter([Constraint("ward", Op.EQ, "icu")])],
+    (filters, "subscription"): [SUBSCRIPTION],
+}
+
+CODEC_MODULES = (wire, events, plan, filters)
+
+
+def _triples():
+    for module in CODEC_MODULES:
+        for name, func in sorted(vars(module).items()):
+            if (name.startswith("encode_") and inspect.isfunction(func)
+                    and func.__module__ == module.__name__):
+                yield module, name[len("encode_"):]
+
+
+def _canon(value):
+    """Normalise decode output for comparison (buffers -> bytes, etc.)."""
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return bytes(value)
+    if isinstance(value, (list, tuple)):
+        return [_canon(item) for item in value]
+    if isinstance(value, Subscription):
+        return (value.sub_id, value.subscriber, value.filters)
+    return value
+
+
+def test_every_encode_has_a_sample():
+    missing = [(module.__name__, suffix) for module, suffix in _triples()
+               if (module, suffix) not in SAMPLES]
+    assert missing == [], (
+        f"new encode_* without a round-trip sample: {missing}")
+    stale = [(module.__name__, suffix) for module, suffix in SAMPLES
+             if (module, suffix) not in set(_triples())]
+    assert stale == []
+
+
+def test_write_join_equals_encode_and_decode_inverts():
+    for module, suffix in _triples():
+        encode = getattr(module, f"encode_{suffix}")
+        write = getattr(module, f"write_{suffix}")
+        decode = getattr(module, f"decode_{suffix}")
+        for value in SAMPLES[(module, suffix)]:
+            encoded = encode(value)
+            parts = []
+            write(parts, value)
+            assert b"".join(parts) == encoded, (suffix, value)
+            decoded, end = decode(encoded)
+            assert end == len(encoded), (suffix, value)
+            assert _canon(decoded) == _canon(value), (suffix, value)
+            # Offset decoding must work too: the bus parses mid-buffer.
+            padded = b"\xee" * 3 + encoded
+            decoded_at, end_at = decode(padded, 3)
+            assert end_at == len(padded)
+            assert _canon(decoded_at) == _canon(value), (suffix, value)
+
+
+def _roundtrip_event_frame(payload, expected_op):
+    op, body = protocol.unframe(payload)
+    assert op is expected_op
+    event, end = events.decode_event(bytes(body))
+    assert end == len(bytes(body))
+    assert event == EVENT
+    return op
+
+
+#: Frame-builder + body-parser pair per opcode.  ``test_every_busop_...``
+#: asserts this table covers set(BusOp) exactly.
+OPCODE_CASES = {
+    BusOp.PUBLISH: (
+        lambda: b"".join(protocol.publish_parts(EVENT)),
+        lambda p: _roundtrip_event_frame(p, BusOp.PUBLISH)),
+    BusOp.DELIVER: (
+        lambda: protocol.deliver_frame(EVENT),
+        lambda p: _roundtrip_event_frame(p, BusOp.DELIVER)),
+    BusOp.SUBSCRIBE: (
+        lambda: protocol.frame(BusOp.SUBSCRIBE,
+                               filters.encode_subscription(SUBSCRIPTION)),
+        lambda p: filters.decode_subscription(
+            bytes(protocol.unframe(p)[1]))[0].sub_id == SUBSCRIPTION.sub_id),
+    BusOp.UNSUBSCRIBE: (
+        lambda: protocol.frame_unsubscribe(7),
+        lambda p: protocol.parse_unsubscribe(protocol.unframe(p)[1]) == 7),
+    BusOp.DEVICE_DATA: (
+        lambda: protocol.frame(BusOp.DEVICE_DATA, b"\x01reading"),
+        lambda p: bytes(protocol.unframe(p)[1]) == b"\x01reading"),
+    BusOp.DEVICE_CMD: (
+        lambda: protocol.frame(BusOp.DEVICE_CMD, b"\x02cmd"),
+        lambda p: bytes(protocol.unframe(p)[1]) == b"\x02cmd"),
+    BusOp.ADVERTISE: (
+        lambda: protocol.frame(BusOp.ADVERTISE, filters.encode_filter(
+            Filter([Constraint("type", Op.PREFIX, "health.")]))),
+        lambda p: filters.decode_filter(bytes(protocol.unframe(p)[1]))[0]
+        == Filter([Constraint("type", Op.PREFIX, "health.")])),
+    BusOp.QUENCH: (
+        lambda: protocol.frame_quench(True),
+        lambda p: protocol.parse_quench(protocol.unframe(p)[1]) is True),
+    BusOp.BATCH: (
+        lambda: protocol.frame_batch([protocol.deliver_frame(EVENT),
+                                      protocol.frame_quench(False)]),
+        lambda p: [bytes(f) for f in
+                   protocol.parse_batch(protocol.unframe(p)[1])]
+        == [protocol.deliver_frame(EVENT), protocol.frame_quench(False)]),
+}
+
+
+def test_every_busop_has_a_roundtrip_case():
+    assert set(OPCODE_CASES) == set(BusOp), (
+        "new BusOp member without a frame round-trip case")
+
+
+def test_every_busop_frame_roundtrips():
+    for op, (build, check) in OPCODE_CASES.items():
+        payload = build()
+        assert payload[0] == int(op)
+        parsed_op, _ = protocol.unframe(payload)
+        assert parsed_op is op
+        # memoryview input must parse identically (the packet layer's view).
+        view_op, _ = protocol.unframe(memoryview(payload))
+        assert view_op is op
+        assert check(payload) not in (False, None)
+
+
+def test_event_frame_parts_join_matches_frame_of_encode():
+    for op in (BusOp.PUBLISH, BusOp.DELIVER):
+        parts = protocol.event_frame_parts(op, EVENT)
+        assert b"".join(parts) == protocol.frame(
+            op, events.encode_event(EVENT))
