@@ -1,0 +1,61 @@
+"""A7 — lifecycle guarantees, measured: ghost detection and drain.
+
+The health state machine promises two numbers worth gating in CI:
+
+* **detection** — a member that dies silently is marked DEGRADED within
+  3 x heartbeat period (the jitter-tolerant miss threshold) plus at most
+  one sweep period, across heartbeat rates;
+* **drain** — a member that announces departure (LEAVE_INTENT) has every
+  queued delivery flushed before its proxy is torn down: zero
+  matched-event loss on a planned exit, with the flush latency reported.
+"""
+
+import math
+
+from repro.bench.experiments import run_lifecycle_timing
+
+HEARTBEAT_PERIODS = (0.2, 0.5, 1.0)
+DRAIN_BACKLOG = 50
+
+
+def test_ghost_detection_latency_tracks_heartbeat_period(once, benchmark):
+    result = once(run_lifecycle_timing, heartbeat_periods=HEARTBEAT_PERIODS,
+                  drain_backlog=DRAIN_BACKLOG)
+    print()
+    latencies = {p.x: p.mean for p in result.series[0].points}
+    for period, latency in latencies.items():
+        print(f"  heartbeat {period:.1f}s: degraded after "
+              f"{latency:.2f}s ({latency / period:.2f} heartbeats)")
+    benchmark.extra_info["detection_s"] = {str(k): round(v, 3)
+                                           for k, v in latencies.items()}
+
+    # The gate: detection within the 3 x heartbeat threshold plus one
+    # sweep period (sweep = heartbeat / 10 in this experiment).
+    for period, latency in latencies.items():
+        assert not math.isnan(latency), f"never detected at hb={period}"
+        assert latency <= 3.0 * period + period / 10.0 + 1e-6, (period,
+                                                                latency)
+
+
+def test_graceful_drain_rehomes_with_zero_loss(once, benchmark):
+    result = once(run_lifecycle_timing, heartbeat_periods=(0.2,),
+                  drain_backlog=DRAIN_BACKLOG)
+    drain = result.notes["drain"]
+    print()
+    print(f"  drained {drain['events_delivered']}/"
+          f"{drain['events_published']} queued events in "
+          f"{drain['flush_latency_s']:.2f}s, "
+          f"{drain['dropped_on_destroy']} dropped at teardown")
+    benchmark.extra_info["drain"] = {
+        "delivered": drain["events_delivered"],
+        "dropped_on_destroy": drain["dropped_on_destroy"],
+        "flush_latency_s": round(drain["flush_latency_s"], 3),
+    }
+
+    # The gate: planned departure loses nothing, in order, and the
+    # teardown found an empty channel.
+    assert drain["events_delivered"] == drain["events_published"]
+    assert drain["delivered_in_order"]
+    assert drain["dropped_on_destroy"] == 0
+    assert drain["drain_completed"]
+    assert not math.isnan(drain["flush_latency_s"])

@@ -41,6 +41,10 @@ MEMBER_RECOVERED_TYPE = "smc.member.recovered"
 #: A member re-announced (or heartbeated) from a new transport address:
 #: it roamed.  Queued deliveries were migrated to the new address.
 MEMBER_MOVED_TYPE = "smc.member.moved"
+#: A member's health lifecycle changed (joining/healthy/degraded/draining/
+#: gone) or it re-declared its capacity.  Attributes: ``member``, ``name``,
+#: ``state``, ``previous``, ``capacity`` and optionally ``reason``.
+MEMBER_STATE_TYPE = "smc.member.state"
 #: Prefix for management command events the policy service emits.
 COMMAND_TYPE_PREFIX = "smc.cmd."
 #: Policy service lifecycle events.

@@ -24,6 +24,7 @@ already issued, and it wakes only members it quenched itself.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.bus import EventBus
 from repro.discovery.auth import Authenticator
@@ -101,6 +102,29 @@ class BackpressureGuard:
         self.shed_backlog = shed_backlog
         self.stats = stats if stats is not None else EdgeStats()
         self._edge_quenched: set[ServiceId] = set()
+        self._capacity_of: Callable[[ServiceId], int] | None = None
+
+    def set_capacity_source(self, capacity_of: Callable[[ServiceId], int]) -> None:
+        """Honour per-member declared capacities (discovery's records).
+
+        A member that declared a capacity smaller than the configured
+        bounds gets its quench/shed thresholds clamped down to it: a
+        4-event sensor is quenched at 4 queued payloads, not at the
+        cell-wide 64.
+        """
+        self._capacity_of = capacity_of
+
+    def _bounds_for(self, member: ServiceId) -> tuple[int, int, int]:
+        """(quench, wake, shed) for one member, honouring its capacity."""
+        capacity = self._capacity_of(member) if self._capacity_of else 0
+        if capacity <= 0:
+            return self.quench_backlog, self.wake_backlog, self.shed_backlog
+        quench = max(1, min(self.quench_backlog, capacity))
+        # Preserve the hysteresis shape (wake < quench <= shed) at any
+        # scale; a quench bound of 1 wakes only on a fully-drained queue.
+        wake = min(self.wake_backlog, quench - 1)
+        shed = max(quench, min(self.shed_backlog, 4 * capacity))
+        return quench, wake, shed
 
     def sweep(self) -> None:
         """One backpressure round over every member channel."""
@@ -113,15 +137,15 @@ class BackpressureGuard:
             proxy = self.bus.proxy_of(member)
             channel = self.endpoint.existing_channel(proxy.member_address)
             backlog = channel.unacked_count() if channel is not None else 0
-            if backlog >= self.quench_backlog:
+            quench_at, wake_at, shed_at = self._bounds_for(member)
+            if backlog >= quench_at:
                 self._quench(member, proxy)
-            elif backlog <= self.wake_backlog:
+            elif backlog <= wake_at:
                 self._wake(member, proxy)
-            if channel is not None and backlog > self.shed_backlog:
+            if channel is not None and backlog > shed_at:
                 # Trim the untransmitted tail; in-flight packets stay (the
                 # send window bounds them already).
-                self.stats.payloads_shed += channel.shed_backlog(
-                    self.shed_backlog)
+                self.stats.payloads_shed += channel.shed_backlog(shed_at)
 
     def edge_quenched(self) -> set[ServiceId]:
         """Members currently quenched by the edge (not by the bus)."""

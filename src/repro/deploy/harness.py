@@ -78,6 +78,15 @@ class LoopbackDevice:
         self.agent.stop()
         self.client.bus_address = None
 
+    def leave_gracefully(self, reason: str = "drain") -> None:
+        """Send LEAVE_INTENT and let the cell drain our queue.
+
+        Pair with :meth:`close` (or :meth:`leave`) once the cell purges
+        us — e.g. after waiting for delivery to quiesce.
+        """
+        self.flush()
+        self.agent.leave_gracefully(reason)
+
     def close(self) -> None:
         self.flush()
         self.agent.stop()
@@ -86,6 +95,40 @@ class LoopbackDevice:
                 self.scheduler.unregister_pollable(pollable)
             self._registered = False
         self.transport.close()
+
+    # -- fault-injection hooks ----------------------------------------------
+
+    def crash(self) -> None:
+        """Die without a word: drop the socket, send no LEAVE.
+
+        The cell sees an abrupt ghost — exactly what the chaos harness
+        needs to prove the DEGRADED detection and purge paths.  The agent
+        object survives (for inspecting its stats) but is stopped.
+        """
+        if self._registered:
+            for pollable in self.transport.pollables():
+                self.scheduler.unregister_pollable(pollable)
+            self._registered = False
+        self.agent.freeze()          # no LEAVE, no further heartbeats
+        self.transport.close()
+        self.client.bus_address = None
+
+    def freeze(self) -> None:
+        """Simulate a process stall: stop reading the socket and stop all
+        agent timers, but keep every resource for :meth:`thaw`."""
+        if self._registered:
+            for pollable in self.transport.pollables():
+                self.scheduler.unregister_pollable(pollable)
+            self._registered = False
+        self.agent.freeze()
+
+    def thaw(self) -> None:
+        """Resume after :meth:`freeze`: re-register the socket, restart
+        the agent's timers."""
+        if not self._registered:
+            self.scheduler.register_pollables(self.transport.pollables())
+            self._registered = True
+        self.agent.thaw()
 
     # -- conveniences --------------------------------------------------------
 

@@ -14,6 +14,45 @@ The snapshot itself is produced by a caller-supplied callable — the
 server layer decides what "health" means (members, BusStats,
 ChannelStats, shard loads, autonomic audit tail); this module only moves
 the bytes.
+
+JSON field reference (the body :meth:`~repro.deploy.server.CellServer.
+snapshot` produces)::
+
+    cell              cell name (CellConfig.cell_name)
+    engine            matching engine name ("forwarding", "siena", ...)
+    started           bool, between start() and stop()
+    uptime_s          seconds since start()
+    address           the core's unicast "host:port" rendezvous address
+    pollables         fds registered with the scheduler selector
+    member_count      admitted members (all lifecycle states)
+    lifecycle_counts  members per lifecycle state, e.g.
+                      {"joining": 0, "healthy": 4, "degraded": 1,
+                       "draining": 0} — GONE members left the table
+    members           list of per-member objects:
+        member          integer service id
+        name            announced device name
+        device_type     announced device type
+        address         current "host:port" (follows roams)
+        state           masking state: "active" | "silent"
+        lifecycle       health state: "joining" | "healthy" |
+                        "degraded" | "draining"
+        capacity        declared inbound event capacity (0 = undeclared)
+        silence_s       seconds since last heard
+    bus               BusStats (published, matched, delivered_local,
+                      delivered_remote, duplicates_dropped, unmatched,
+                      from_unknown_member, subscriptions_active,
+                      members_active, purged_members)
+    channels          aggregate ChannelStats over every member channel
+    transport         UDP socket counters
+    discovery         DiscoveryStats (admissions, purges, degradations,
+                      drains, drains_completed, drain_timeouts, ...)
+    edge              EdgeStats (capacity_rejections, quench/wake
+                      advisories, payloads_shed, sweeps)
+    edge_quenched     member ids currently quenched by the edge guard
+    shard_loads       (sharded bus only) subscriptions per shard
+    shard_events      (sharded bus only) events matched per shard
+    workers           (worker pool only) pool stats incl. live pids
+    autonomic         (autonomic cell only) ticks, actuations, audit tail
 """
 
 from __future__ import annotations

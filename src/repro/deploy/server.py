@@ -140,6 +140,8 @@ class CellServer:
             wake_backlog=config.wake_backlog,
             shed_backlog=config.shed_backlog,
             stats=self.edge_stats)
+        # Honour per-member capacity declarations from ANNOUNCE/heartbeats.
+        self.guard.set_capacity_source(self.cell.discovery.capacity_of)
 
         self.healthz: HealthzEndpoint | None = None
         if config.healthz_host is not None:
@@ -166,6 +168,7 @@ class CellServer:
 
         self._guard_timer = None
         self._started = False
+        self._closed = False
         self._started_at: float | None = None
 
     # -- lifecycle -----------------------------------------------------------
@@ -219,8 +222,12 @@ class CellServer:
         self.scheduler.stop()
 
     def close(self) -> None:
-        """Stop (if needed) and release every socket."""
+        """Stop (if needed) and release every socket.  Idempotent: a
+        second close must not unregister already-released pollables."""
         self.stop()
+        if self._closed:
+            return
+        self._closed = True
         if self.healthz is not None:
             self.scheduler.unregister_pollable(self.healthz)
             self.healthz.close()
@@ -271,6 +278,8 @@ class CellServer:
             "device_type": record.device_type,
             "address": format_address(record.address),
             "state": record.state.value,
+            "lifecycle": record.lifecycle.value,
+            "capacity": record.capacity,
             "silence_s": round(record.silence(now), 3),
         } for record in discovery.table.members()]
         snapshot = {
@@ -282,6 +291,7 @@ class CellServer:
             "address": format_address(self.transport.local_address),
             "pollables": self.scheduler.pollable_count(),
             "member_count": len(members),
+            "lifecycle_counts": discovery.table.lifecycle_counts(),
             "members": members,
             "bus": asdict(self.cell.bus.stats),
             "channels": asdict(self.cell.endpoint.channel_stats()),

@@ -8,28 +8,37 @@ again — the mobile side of the paper's join/leave dynamics.
 
 State machine::
 
-    SEARCHING --beacon--> ANNOUNCING --JOIN_ACK--> JOINED
+    SEARCHING --beacon--> ANNOUNCING --JOIN_ACK--> JOINED --leave_gracefully--> DRAINING
         ^                     |  ^                   |
         |                JOIN_NAK  beacon          beacon silence
         +--- REJECTED <-------+   (re-announce)      |
         ^                                            v
         +------------------- beacon silence ---- SEARCHING
+
+Announce retries and post-rejection retries use jittered exponential
+backoff: when a cell at capacity NAKs a ward full of devices, fixed
+delays would re-synchronise every one of them into lockstep announce
+storms; the jitter (deterministic per device name) spreads them out.
 """
 
 from __future__ import annotations
 
 import enum
+import random
+import zlib
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.discovery.messages import (
     AnnounceBody,
     BeaconBody,
+    HeartbeatBody,
     JoinAckBody,
     JoinNakBody,
     LeaveBody,
+    LeaveIntentBody,
 )
-from repro.errors import CodecError, ConfigurationError
+from repro.errors import CodecError, ConfigurationError, TransportClosedError
 from repro.sim.kernel import Scheduler
 from repro.transport.base import Address
 from repro.transport.endpoint import PacketEndpoint
@@ -40,6 +49,7 @@ class AgentState(enum.Enum):
     SEARCHING = "searching"
     ANNOUNCING = "announcing"
     JOINED = "joined"
+    DRAINING = "draining"
     REJECTED = "rejected"
     STOPPED = "stopped"
 
@@ -55,14 +65,30 @@ class AgentConfig:
     target_cell: str | None = None
     #: Declare the cell out of range after this much beacon silence.
     beacon_timeout_s: float = 3.5
-    #: Re-announce period while waiting for a JOIN_ACK.
+    #: Base re-announce delay while waiting for a JOIN_ACK; doubles per
+    #: unanswered announce (with jitter) up to ``announce_backoff_cap_s``.
     announce_retry_s: float = 1.0
-    #: How long a REJECTED agent waits before trying again.
+    #: Cap on the exponential announce-retry backoff.
+    announce_backoff_cap_s: float = 8.0
+    #: Base delay a REJECTED agent waits before trying again; doubles per
+    #: consecutive rejection (with jitter) up to ``rejection_backoff_cap_s``.
     rejection_backoff_s: float = 30.0
+    #: Cap on the exponential rejection backoff.
+    rejection_backoff_cap_s: float = 120.0
+    #: Declared inbound event capacity (0 = undeclared), carried on
+    #: announces and heartbeats for the cell's backpressure controllers.
+    capacity: int = 0
 
     def __post_init__(self) -> None:
         if not self.name or not self.device_type:
             raise ConfigurationError("agent needs a name and a device_type")
+        for field_name in ("beacon_timeout_s", "announce_retry_s",
+                           "announce_backoff_cap_s", "rejection_backoff_s",
+                           "rejection_backoff_cap_s"):
+            if getattr(self, field_name) <= 0:
+                raise ConfigurationError(f"{field_name} must be > 0")
+        if self.capacity < 0:
+            raise ConfigurationError("capacity must be >= 0")
 
 
 @dataclass
@@ -100,7 +126,15 @@ class DiscoveryAgent:
         self._heartbeat_timer = None
         self._announce_timer = None
         self._watchdog_timer = None
+        self._rejection_timer = None
         self._last_beacon_at: float | None = None
+        self._heartbeat_period_s: float | None = None
+        self._announce_attempts = 0
+        self._rejection_streak = 0
+        self._frozen = False
+        # Deterministic per-device jitter stream: reproducible in the
+        # simulator, yet different devices desynchronise from each other.
+        self._rng = random.Random(zlib.crc32(config.name.encode("utf-8")))
         endpoint.set_control_handler(self._on_control)
 
     # -- lifecycle -----------------------------------------------------------
@@ -131,14 +165,66 @@ class DiscoveryAgent:
         self._enter_announcing()
 
     def stop(self) -> None:
-        """Politely leave (if joined) and stop all timers."""
+        """Politely leave (if joined) and stop all timers.  Idempotent:
+        a second stop finds state STOPPED and every timer handle None, so
+        nothing is sent and nothing is cancelled twice."""
         if self.state == AgentState.JOINED and self.core_address is not None:
-            self.endpoint.send_control(self.core_address, PacketType.LEAVE,
-                                       LeaveBody("leave").encode())
+            try:
+                self.endpoint.send_control(self.core_address, PacketType.LEAVE,
+                                           LeaveBody("leave").encode())
+            except TransportClosedError:
+                # The socket died first (crash-style shutdown): the polite
+                # LEAVE is best-effort, the cell's lease reaps us anyway.
+                pass
         self._cancel_timers()
         self.state = AgentState.STOPPED
         self.cell_name = None
         self.core_address = None
+        self._frozen = False
+
+    def leave_gracefully(self, reason: str = "drain") -> None:
+        """Announce departure and keep heartbeating while the cell drains.
+
+        Sends LEAVE_INTENT and enters DRAINING: the cell flushes our
+        queued deliveries before purging us, so a planned departure loses
+        no matched events.  The caller decides when to actually call
+        :meth:`stop` (e.g. on the purge notification, or after the drain
+        deadline).  A no-op unless currently JOINED.
+        """
+        if self.state != AgentState.JOINED or self.core_address is None:
+            return
+        self.endpoint.send_control(self.core_address, PacketType.LEAVE_INTENT,
+                                   LeaveIntentBody(reason).encode())
+        self.state = AgentState.DRAINING
+
+    def freeze(self) -> None:
+        """Simulate a process stall: stop all timers but keep state.
+
+        Fault-injection hook (the deploy harness pairs it with dropping
+        the transport's reads).  A frozen agent sends no heartbeats and
+        processes no control packets until :meth:`thaw`.
+        """
+        if self._frozen or self.state == AgentState.STOPPED:
+            return
+        self._frozen = True
+        self._cancel_timers()
+
+    def thaw(self) -> None:
+        """Resume after :meth:`freeze`, restarting the timers the current
+        state needs.  The membership itself may have been purged while
+        frozen — the next heartbeat or announce sorts that out."""
+        if not self._frozen:
+            return
+        self._frozen = False
+        if self.state in (AgentState.JOINED, AgentState.DRAINING):
+            if self._heartbeat_period_s is not None:
+                self._start_heartbeats(self._heartbeat_period_s)
+            self._start_watchdog()
+        elif self.state == AgentState.ANNOUNCING:
+            self._announce_attempts = 0
+            self._send_announce()
+            self._schedule_announce_retry()
+            self._start_watchdog()
 
     @property
     def joined(self) -> bool:
@@ -147,7 +233,7 @@ class DiscoveryAgent:
     # -- control-plane dispatch ----------------------------------------------
 
     def _on_control(self, packet: Packet, src: Address) -> None:
-        if self.state == AgentState.STOPPED:
+        if self.state == AgentState.STOPPED or self._frozen:
             return
         try:
             if packet.type == PacketType.BEACON:
@@ -179,6 +265,7 @@ class DiscoveryAgent:
         self.core_address = src
         self._cancel_announce()
         self.last_join_was_new = ack.new_session
+        self._rejection_streak = 0
         if first_join:
             self.stats.joins += 1
             self._start_heartbeats(ack.heartbeat_period_s)
@@ -190,15 +277,26 @@ class DiscoveryAgent:
             return
         self.state = AgentState.REJECTED
         self.stats.rejections += 1
+        self._rejection_streak += 1
         self._cancel_announce()
-        self.scheduler.call_later(self.config.rejection_backoff_s,
-                                  self._retry_after_rejection)
+        self._rejection_timer = self.scheduler.call_later(
+            self._backoff(self.config.rejection_backoff_s,
+                          self._rejection_streak - 1,
+                          self.config.rejection_backoff_cap_s),
+            self._retry_after_rejection)
         if self.on_rejected is not None:
             self.on_rejected(nak.reason)
 
     def _retry_after_rejection(self) -> None:
+        self._rejection_timer = None
         if self.state == AgentState.REJECTED:
             self._enter_searching()
+
+    def _backoff(self, base_s: float, attempt: int, cap_s: float) -> float:
+        """Jittered exponential backoff: ``min(cap, base * 2^attempt)``
+        scaled by a uniform factor in [0.5, 1.5)."""
+        delay = min(cap_s, base_s * (2.0 ** attempt))
+        return delay * (0.5 + self._rng.random())
 
     # -- states --------------------------------------------------------------
 
@@ -211,16 +309,31 @@ class DiscoveryAgent:
 
     def _enter_announcing(self) -> None:
         self.state = AgentState.ANNOUNCING
+        self._announce_attempts = 0
         self._send_announce()
-        self._announce_timer = self.scheduler.every(
-            self.config.announce_retry_s, self._send_announce)
+        self._schedule_announce_retry()
         self._start_watchdog()
+
+    def _schedule_announce_retry(self) -> None:
+        self._announce_timer = self.scheduler.call_later(
+            self._backoff(self.config.announce_retry_s,
+                          self._announce_attempts,
+                          self.config.announce_backoff_cap_s),
+            self._announce_retry)
+
+    def _announce_retry(self) -> None:
+        self._announce_timer = None
+        if self.state != AgentState.ANNOUNCING:
+            return
+        self._announce_attempts += 1
+        self._send_announce()
+        self._schedule_announce_retry()
 
     def _send_announce(self) -> None:
         if self.core_address is None:
             return
         body = AnnounceBody(self.config.name, self.config.device_type,
-                            self.config.credentials)
+                            self.config.credentials, self.config.capacity)
         self.endpoint.send_control(self.core_address, PacketType.ANNOUNCE,
                                    body.encode())
         self.stats.announces_sent += 1
@@ -228,12 +341,19 @@ class DiscoveryAgent:
     def _start_heartbeats(self, period_s: float) -> None:
         if self._heartbeat_timer is not None:
             self._heartbeat_timer.cancel()
+        self._heartbeat_period_s = period_s
         self._heartbeat_timer = self.scheduler.every(period_s,
                                                      self._send_heartbeat)
 
     def _send_heartbeat(self) -> None:
-        if self.state == AgentState.JOINED and self.core_address is not None:
-            self.endpoint.send_control(self.core_address, PacketType.HEARTBEAT)
+        # DRAINING members keep heartbeating: the cell must be able to
+        # tell "draining, alive" from "crashed mid-drain".
+        if (self.state in (AgentState.JOINED, AgentState.DRAINING)
+                and self.core_address is not None):
+            payload = (HeartbeatBody(self.config.capacity).encode()
+                       if self.config.capacity else b"")
+            self.endpoint.send_control(self.core_address,
+                                       PacketType.HEARTBEAT, payload)
             self.stats.heartbeats_sent += 1
 
     # -- out-of-range watchdog ----------------------------------------------
@@ -271,8 +391,10 @@ class DiscoveryAgent:
 
     def _cancel_timers(self) -> None:
         self._cancel_announce()
-        for timer in (self._heartbeat_timer, self._watchdog_timer):
+        for timer in (self._heartbeat_timer, self._watchdog_timer,
+                      self._rejection_timer):
             if timer is not None:
                 timer.cancel()
         self._heartbeat_timer = None
         self._watchdog_timer = None
+        self._rejection_timer = None

@@ -1,0 +1,84 @@
+"""Member health lifecycle.
+
+Layered *over* the ACTIVE/SILENT masking machine in
+:mod:`repro.discovery.membership`: masking answers "is the member's state
+still valid?" (the paper's transient-disconnection guarantee), while the
+lifecycle answers "how healthy is this member, operationally?"::
+
+    JOINING --first heartbeat--> HEALTHY <--heard again-- DEGRADED
+       |                            |  \\                    ^ |
+       |                            |   +-- missed 3 x hb --+ |
+       +------- LEAVE_INTENT -------+------------------------ | --+
+       |                                                      |   v
+       +--------------------> GONE <----- purge/deadline -- DRAINING
+
+* ``JOINING``   — admitted, but no heartbeat seen yet.
+* ``HEALTHY``   — heartbeating within its contract.
+* ``DEGRADED``  — missed roughly three heartbeat intervals.  Jitter
+  tolerant: a single late heartbeat does not degrade, and the member
+  recovers the moment it is heard again.  A crashed ("ghost") member is
+  flagged here long before the masking purge fires.
+* ``DRAINING``  — announced its departure (LEAVE_INTENT); the cell is
+  flushing its queued deliveries before tearing the channel down.
+* ``GONE``      — purged.  Terminal.
+
+The transition table is enforced: an illegal transition is a bug in the
+discovery service, not a recoverable protocol event, so ``advance``
+raises :class:`~repro.errors.DiscoveryError`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import DiscoveryError
+
+
+class LifecycleState(enum.Enum):
+    JOINING = "joining"
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    DRAINING = "draining"
+    GONE = "gone"
+
+
+#: Allowed transitions.  DRAINING only ends in GONE (a draining member
+#: heard again stays draining — it told us it is leaving); GONE is terminal.
+_ALLOWED: dict[LifecycleState, frozenset[LifecycleState]] = {
+    LifecycleState.JOINING: frozenset({
+        LifecycleState.HEALTHY, LifecycleState.DEGRADED,
+        LifecycleState.DRAINING, LifecycleState.GONE}),
+    LifecycleState.HEALTHY: frozenset({
+        LifecycleState.DEGRADED, LifecycleState.DRAINING,
+        LifecycleState.GONE}),
+    LifecycleState.DEGRADED: frozenset({
+        LifecycleState.HEALTHY, LifecycleState.DRAINING,
+        LifecycleState.GONE}),
+    LifecycleState.DRAINING: frozenset({LifecycleState.GONE}),
+    LifecycleState.GONE: frozenset(),
+}
+
+
+def can_advance(current: LifecycleState, target: LifecycleState) -> bool:
+    return target in _ALLOWED[current]
+
+
+def advance(current: LifecycleState, target: LifecycleState) -> LifecycleState:
+    """Validate and return the new state; raise on an illegal transition."""
+    if target not in _ALLOWED[current]:
+        raise DiscoveryError(
+            f"illegal lifecycle transition {current.value} -> {target.value}")
+    return target
+
+
+def degraded_threshold(heartbeat_period_s: float,
+                       degraded_after_s: float | None = None) -> float:
+    """Silence beyond which a member is DEGRADED.
+
+    Defaults to three heartbeat intervals — two in a row may be jitter or
+    a single lost datagram, three is a pattern (the kiboserve exemplar's
+    miss threshold, and the bound the chaos soak asserts against).
+    """
+    if degraded_after_s is not None:
+        return degraded_after_s
+    return 3.0 * heartbeat_period_s

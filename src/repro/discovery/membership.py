@@ -9,6 +9,12 @@ Tracks every admitted member's lifecycle::
 SILENT is the masking state the paper requires: the member is still part of
 the SMC (its proxy and queued events survive), but the cell knows it has
 not been heard from.  Only the purge transition is irreversible.
+
+Orthogonally, each record carries a *health lifecycle*
+(:class:`~repro.discovery.lifecycle.LifecycleState`): JOINING → HEALTHY →
+DEGRADED → DRAINING → GONE.  Masking decides when state is discarded;
+the lifecycle is the operational health signal (healthz, backpressure,
+graceful drain) and is reported on the bus as ``smc.member.state``.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.discovery.lifecycle import LifecycleState, advance
 from repro.errors import DiscoveryError
 from repro.ids import ServiceId
 from repro.transport.base import Address
@@ -39,6 +46,15 @@ class MemberRecord:
     last_heard: float
     state: MemberState = MemberState.ACTIVE
     silent_since: float | None = field(default=None)
+    #: Health lifecycle, orthogonal to the masking state above.
+    lifecycle: LifecycleState = LifecycleState.JOINING
+    #: Declared inbound event capacity (0 = undeclared); carried on
+    #: ANNOUNCE/HEARTBEAT and honoured by backpressure and flushing.
+    capacity: int = 0
+    #: When the member entered DEGRADED (None while healthy).
+    degraded_since: float | None = field(default=None)
+    #: When the member sent LEAVE_INTENT (None unless DRAINING).
+    drain_started: float | None = field(default=None)
 
     def heard(self, now: float) -> bool:
         """Record liveness; returns True if this recovered a SILENT member."""
@@ -52,6 +68,11 @@ class MemberRecord:
     def silence(self, now: float) -> float:
         """Seconds since the member was last heard from."""
         return now - self.last_heard
+
+    def advance_lifecycle(self, target: LifecycleState) -> LifecycleState:
+        """Move to ``target``, enforcing the transition table."""
+        self.lifecycle = advance(self.lifecycle, target)
+        return self.lifecycle
 
 
 class MembershipTable:
@@ -74,6 +95,7 @@ class MembershipTable:
         except KeyError:
             raise DiscoveryError(f"member {member_id} not admitted") from None
         record.state = MemberState.PURGED
+        record.lifecycle = LifecycleState.GONE
         return record
 
     def members(self) -> list[MemberRecord]:
@@ -82,6 +104,18 @@ class MembershipTable:
 
     def in_state(self, state: MemberState) -> list[MemberRecord]:
         return [r for r in self.members() if r.state == state]
+
+    def in_lifecycle(self, state: LifecycleState) -> list[MemberRecord]:
+        return [r for r in self.members() if r.lifecycle == state]
+
+    def lifecycle_counts(self) -> dict[str, int]:
+        """Member count per lifecycle state (healthz's summary line)."""
+        counts = {state.value: 0 for state in LifecycleState
+                  if state is not LifecycleState.GONE}
+        for record in self._records.values():
+            counts[record.lifecycle.value] = counts.get(
+                record.lifecycle.value, 0) + 1
+        return counts
 
     def by_name(self, name: str) -> MemberRecord | None:
         for record in self._records.values():

@@ -33,15 +33,23 @@ class BeaconBody:
 
 @dataclass(frozen=True)
 class AnnounceBody:
-    """A device introducing itself to a cell it heard beaconing."""
+    """A device introducing itself to a cell it heard beaconing.
+
+    ``capacity`` declares the device's inbound event buffer depth (0 =
+    undeclared).  It is appended as a trailing varint so bodies from
+    pre-capacity senders (which simply end after the credentials) still
+    decode — a PDA running last year's firmware can join today's cell.
+    """
 
     name: str
     device_type: str
     credentials: bytes = b""
+    capacity: int = 0
 
     def encode(self) -> bytes:
         return (wire.encode_str(self.name) + wire.encode_str(self.device_type)
-                + wire.encode_varint(len(self.credentials)) + self.credentials)
+                + wire.encode_varint(len(self.credentials)) + self.credentials
+                + wire.encode_varint(self.capacity))
 
     @classmethod
     def decode(cls, buf: bytes) -> "AnnounceBody":
@@ -51,8 +59,12 @@ class AnnounceBody:
         if pos + cred_len > len(buf):
             raise CodecError("truncated announce credentials")
         credentials = bytes(buf[pos:pos + cred_len])
-        _expect_end(buf, pos + cred_len, "announce")
-        return cls(name, device_type, credentials)
+        pos += cred_len
+        capacity = 0
+        if pos < len(buf):               # pre-capacity bodies end here
+            capacity, pos = wire.decode_varint(buf, pos)
+        _expect_end(buf, pos, "announce")
+        return cls(name, device_type, credentials, capacity)
 
 
 @dataclass(frozen=True)
@@ -105,6 +117,28 @@ class JoinNakBody:
 
 
 @dataclass(frozen=True)
+class HeartbeatBody:
+    """Optional heartbeat payload: a refreshed capacity declaration.
+
+    Heartbeats historically carry no payload; an empty payload still means
+    "alive, nothing declared", so old devices interoperate unchanged.
+    """
+
+    capacity: int = 0
+
+    def encode(self) -> bytes:
+        return wire.encode_varint(self.capacity)
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "HeartbeatBody":
+        if not len(buf):
+            return cls(0)
+        capacity, pos = wire.decode_varint(buf)
+        _expect_end(buf, pos, "heartbeat")
+        return cls(capacity)
+
+
+@dataclass(frozen=True)
 class LeaveBody:
     """Polite departure."""
 
@@ -117,6 +151,28 @@ class LeaveBody:
     def decode(cls, buf: bytes) -> "LeaveBody":
         reason, pos = wire.decode_str(buf)
         _expect_end(buf, pos, "leave")
+        return cls(reason)
+
+
+@dataclass(frozen=True)
+class LeaveIntentBody:
+    """Departure announced ahead of time: please drain me first.
+
+    Unlike LEAVE (immediate purge), LEAVE_INTENT starts the graceful-drain
+    arc: the cell withdraws the member's subscriptions, flushes its queued
+    deliveries, and only then purges.  The member keeps heartbeating while
+    it drains so the cell can tell "draining" from "crashed mid-drain".
+    """
+
+    reason: str = "drain"
+
+    def encode(self) -> bytes:
+        return wire.encode_str(self.reason)
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "LeaveIntentBody":
+        reason, pos = wire.decode_str(buf)
+        _expect_end(buf, pos, "leave-intent")
         return cls(reason)
 
 

@@ -20,17 +20,21 @@ from repro.core.events import (
     MEMBER_MOVED_TYPE,
     MEMBER_RECOVERED_TYPE,
     MEMBER_SILENT_TYPE,
+    MEMBER_STATE_TYPE,
     NEW_MEMBER_TYPE,
     PURGE_MEMBER_TYPE,
 )
 from repro.discovery.auth import AllowAllAuthenticator, Authenticator
+from repro.discovery.lifecycle import LifecycleState, degraded_threshold
 from repro.discovery.membership import MembershipTable, MemberRecord, MemberState
 from repro.discovery.messages import (
     AnnounceBody,
     BeaconBody,
+    HeartbeatBody,
     JoinAckBody,
     JoinNakBody,
     LeaveBody,
+    LeaveIntentBody,
 )
 from repro.errors import CodecError, ConfigurationError
 from repro.ids import ServiceId
@@ -57,18 +61,32 @@ class DiscoveryConfig:
     silent_after_s: float = 2.5
     purge_after_s: float = 10.0
     sweep_period_s: float = 0.5
+    #: Silence beyond which a member's lifecycle is DEGRADED.  None means
+    #: the jitter-tolerant default of three heartbeat intervals.
+    degraded_after_s: float | None = None
+    #: How long a DRAINING member gets to flush its queued deliveries
+    #: before drain degrades to the ordinary purge path.
+    drain_deadline_s: float = 5.0
 
     def __post_init__(self) -> None:
         if not self.cell_name:
             raise ConfigurationError("cell_name must be non-empty")
         for name in ("beacon_period_s", "heartbeat_period_s",
-                     "silent_after_s", "purge_after_s", "sweep_period_s"):
+                     "silent_after_s", "purge_after_s", "sweep_period_s",
+                     "drain_deadline_s"):
             if getattr(self, name) <= 0:
                 raise ConfigurationError(f"{name} must be > 0")
+        if self.degraded_after_s is not None and self.degraded_after_s <= 0:
+            raise ConfigurationError("degraded_after_s must be > 0")
         if self.purge_after_s <= self.silent_after_s:
             raise ConfigurationError(
                 "purge_after_s must exceed silent_after_s "
                 "(SILENT is the masking state before a purge)")
+
+    @property
+    def degraded_threshold_s(self) -> float:
+        return degraded_threshold(self.heartbeat_period_s,
+                                  self.degraded_after_s)
 
 
 @dataclass
@@ -83,6 +101,10 @@ class DiscoveryStats:
     silences: int = 0
     purges: int = 0
     leaves: int = 0
+    degradations: int = 0
+    drains: int = 0
+    drains_completed: int = 0
+    drain_timeouts: int = 0
 
 
 class DiscoveryService:
@@ -99,6 +121,9 @@ class DiscoveryService:
                               else AllowAllAuthenticator())
         self.table = MembershipTable()
         self.stats = DiscoveryStats()
+        #: Observed silence at each DEGRADED transition — the measured
+        #: ghost-detection latencies the ROADMAP and bench gate report.
+        self.degraded_latencies: list[float] = []
         self._publisher = bus.local_publisher(f"discovery.{config.cell_name}")
         self._beacon_timer = None
         self._sweep_timer = None
@@ -148,9 +173,13 @@ class DiscoveryService:
             if packet.type == PacketType.ANNOUNCE:
                 self._on_announce(packet.sender, AnnounceBody.decode(packet.payload), src)
             elif packet.type == PacketType.HEARTBEAT:
-                self._on_heartbeat(packet.sender, src)
+                self._on_heartbeat(packet.sender,
+                                   HeartbeatBody.decode(packet.payload), src)
             elif packet.type == PacketType.LEAVE:
                 self._on_leave(packet.sender, LeaveBody.decode(packet.payload))
+            elif packet.type == PacketType.LEAVE_INTENT:
+                self._on_leave_intent(
+                    packet.sender, LeaveIntentBody.decode(packet.payload))
             # BEACON/JOIN_* from other cells are ignored by the service side.
         except CodecError:
             return
@@ -170,6 +199,7 @@ class DiscoveryService:
             # deliveries retransmit there until purge.
             if src != record.address:
                 self._handle_roam(record, src)
+            self._update_capacity(record, announce.capacity)
             self._mark_heard(record)
             self._send_join_ack(src, new_session=False)
             return
@@ -184,7 +214,8 @@ class DiscoveryService:
         now = self.scheduler.now()
         record = MemberRecord(member_id=member_id, name=announce.name,
                               device_type=announce.device_type, address=src,
-                              admitted_at=now, last_heard=now)
+                              admitted_at=now, last_heard=now,
+                              capacity=announce.capacity)
         self.table.admit(record)
         self.stats.admissions += 1
         self.endpoint.learn_peer(member_id, src)
@@ -196,6 +227,7 @@ class DiscoveryService:
             "name": announce.name,
             "device_type": announce.device_type,
             "address": format_address(src),
+            "capacity": announce.capacity,
         })
 
     def _send_join_ack(self, src: Address, *, new_session: bool) -> None:
@@ -225,7 +257,8 @@ class DiscoveryService:
 
     # -- liveness ------------------------------------------------------------
 
-    def _on_heartbeat(self, member_id: ServiceId, src: Address) -> None:
+    def _on_heartbeat(self, member_id: ServiceId, heartbeat: HeartbeatBody,
+                      src: Address) -> None:
         record = self.table.get(member_id)
         if record is None:
             return            # heartbeat from a purged/unknown device
@@ -235,6 +268,8 @@ class DiscoveryService:
             # (announce lost, or the device never re-announced): the same
             # handover applies.
             self._handle_roam(record, src)
+        if heartbeat.capacity:
+            self._update_capacity(record, heartbeat.capacity)
         self._mark_heard(record)
 
     def _mark_heard(self, record: MemberRecord) -> None:
@@ -244,6 +279,20 @@ class DiscoveryService:
             self._publisher.publish(MEMBER_RECOVERED_TYPE, {
                 "member": int(record.member_id), "name": record.name,
             })
+        if record.lifecycle in (LifecycleState.JOINING,
+                                LifecycleState.DEGRADED):
+            # First heartbeat, or a ghost come back to life.  DRAINING is
+            # deliberately excluded: heartbeats while draining only prove
+            # the member survived long enough to be flushed.
+            record.degraded_since = None
+            self._set_lifecycle(record, LifecycleState.HEALTHY)
+
+    def _update_capacity(self, record: MemberRecord, capacity: int) -> None:
+        """Refresh a member's declared capacity, announcing the change."""
+        if capacity == record.capacity:
+            return
+        record.capacity = capacity
+        self._publish_state(record, previous=record.lifecycle)
 
     def _on_leave(self, member_id: ServiceId, leave: LeaveBody) -> None:
         record = self.table.get(member_id)
@@ -252,12 +301,53 @@ class DiscoveryService:
         self.stats.leaves += 1
         self._purge(record, reason=leave.reason)
 
+    # -- graceful drain -------------------------------------------------------
+
+    def _on_leave_intent(self, member_id: ServiceId,
+                         intent: LeaveIntentBody) -> None:
+        """Begin draining: flush the member's queue, then purge.
+
+        Consolidates any roamed-channel remnants onto the member's live
+        address (the PR 3 reverse-map machinery) so *every* queued
+        delivery is on the channel the sweep watches, and reports the
+        DRAINING transition — the member's proxy reacts by withdrawing
+        its subscriptions and quenching its publishers, so the backlog
+        only shrinks from here.  Idempotent: LEAVE_INTENT is a datagram
+        and may be repeated.
+        """
+        record = self.table.get(member_id)
+        if record is None or record.lifecycle is LifecycleState.DRAINING:
+            return
+        self.stats.drains += 1
+        record.drain_started = self.scheduler.now()
+        self.endpoint.move_peer(member_id, record.address)
+        self._set_lifecycle(record, LifecycleState.DRAINING,
+                            reason=intent.reason)
+
+    def _drain_backlog(self, record: MemberRecord) -> int:
+        """Undelivered payloads still queued for a draining member."""
+        backlog = 0
+        for address in self.endpoint.channel_addresses(record.member_id):
+            channel = self.endpoint.existing_channel(address)
+            if channel is not None:
+                backlog += channel.unacked_count()
+        return backlog
+
     # -- the masking state machine ------------------------------------------
 
     def _sweep(self) -> None:
         now = self.scheduler.now()
         for record in self.table.members():
+            if record.lifecycle is LifecycleState.DRAINING:
+                self._sweep_draining(record, now)
+                continue
             silence = record.silence(now)
+            if (record.lifecycle is not LifecycleState.DEGRADED
+                    and silence > self.config.degraded_threshold_s):
+                record.degraded_since = now
+                self.stats.degradations += 1
+                self.degraded_latencies.append(silence)
+                self._set_lifecycle(record, LifecycleState.DEGRADED)
             if (record.state == MemberState.ACTIVE
                     and silence > self.config.silent_after_s):
                 record.state = MemberState.SILENT
@@ -270,18 +360,57 @@ class DiscoveryService:
                     and silence > self.config.purge_after_s):
                 self._purge(record, reason="timeout")
 
+    def _sweep_draining(self, record: MemberRecord, now: float) -> None:
+        """Draining members purge on empty backlog — or on the deadline.
+
+        While DRAINING the masking timers are suspended: the member told
+        us it is leaving, so silence is expected, and the only questions
+        left are "is the queue flushed?" and "has it taken too long?".
+        """
+        assert record.drain_started is not None
+        if self._drain_backlog(record) == 0:
+            self.stats.drains_completed += 1
+            self._purge(record, reason="drain")
+        elif now - record.drain_started > self.config.drain_deadline_s:
+            self.stats.drain_timeouts += 1
+            self._purge(record, reason="drain-deadline")
+
     def _purge(self, record: MemberRecord, reason: str) -> None:
         """Remove a member and launch the Purge Member event.
 
         The event is what triggers the member's proxy to destroy itself
         and its queued events; discovery itself only maintains the table.
         """
-        self.table.remove(record.member_id)
+        previous = record.lifecycle
+        self.table.remove(record.member_id)   # also sets lifecycle GONE
         self.stats.purges += 1
+        self._publish_state(record, previous=previous, reason=reason)
         self._publisher.publish(PURGE_MEMBER_TYPE, {
             "member": int(record.member_id), "name": record.name,
             "reason": reason,
         })
+
+    # -- lifecycle reporting -------------------------------------------------
+
+    def _set_lifecycle(self, record: MemberRecord, target: LifecycleState,
+                       *, reason: str | None = None) -> None:
+        previous = record.lifecycle
+        if previous is target:
+            return
+        record.advance_lifecycle(target)
+        self._publish_state(record, previous=previous, reason=reason)
+
+    def _publish_state(self, record: MemberRecord, *,
+                       previous: LifecycleState,
+                       reason: str | None = None) -> None:
+        attrs = {
+            "member": int(record.member_id), "name": record.name,
+            "state": record.lifecycle.value, "previous": previous.value,
+            "capacity": record.capacity,
+        }
+        if reason is not None:
+            attrs["reason"] = reason
+        self._publisher.publish(MEMBER_STATE_TYPE, attrs)
 
     # -- queries ------------------------------------------------------------
 
@@ -290,3 +419,8 @@ class DiscoveryService:
 
     def is_member(self, member_id: ServiceId) -> bool:
         return member_id in self.table
+
+    def capacity_of(self, member_id: ServiceId) -> int:
+        """Declared inbound capacity of a member (0 = undeclared/unknown)."""
+        record = self.table.get(member_id)
+        return record.capacity if record is not None else 0

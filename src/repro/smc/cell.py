@@ -72,6 +72,10 @@ class CellConfig:
     silent_after_s: float = 2.5
     purge_after_s: float = 10.0
     sweep_period_s: float = 0.5
+    #: Lifecycle tuning: silence before DEGRADED (None = 3 x heartbeat)
+    #: and the graceful-drain flush deadline (see DiscoveryConfig).
+    degraded_after_s: float | None = None
+    drain_deadline_s: float = 5.0
     #: Authorisation default when no auth policy applies.
     default_authorise: bool = True
 
@@ -83,6 +87,8 @@ class CellConfig:
             silent_after_s=self.silent_after_s,
             purge_after_s=self.purge_after_s,
             sweep_period_s=self.sweep_period_s,
+            degraded_after_s=self.degraded_after_s,
+            drain_deadline_s=self.drain_deadline_s,
         )
 
 

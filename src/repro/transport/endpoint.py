@@ -34,7 +34,7 @@ PayloadHandler = Callable[[ServiceId, bytes], None]
 _CONTROL_TYPES = frozenset({
     PacketType.BEACON, PacketType.ANNOUNCE, PacketType.JOIN_REQ,
     PacketType.JOIN_ACK, PacketType.JOIN_NAK, PacketType.HEARTBEAT,
-    PacketType.LEAVE,
+    PacketType.LEAVE, PacketType.LEAVE_INTENT,
 })
 
 

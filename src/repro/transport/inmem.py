@@ -68,6 +68,16 @@ class InMemoryHub:
         if transport is not None and not transport.closed:
             transport._deliver(src, payload)
 
+    def inject(self, src: str, dest: str, payload: bytes) -> None:
+        """Deliver a datagram *bypassing* the drop filter.
+
+        The fault harness's re-injection seam: a filter that decided to
+        delay, duplicate or corrupt a datagram consumes the original and
+        schedules the mutated copy through here — without the bypass the
+        copy would hit the same filter again.
+        """
+        self.scheduler.call_soon(self._deliver, src, dest, payload)
+
 
 class InMemoryTransport(Transport):
     """A hub-attached transport addressed by node name."""

@@ -23,6 +23,7 @@ Packet types (the ``typ`` byte)::
     JOIN_NAK   discovery: admission refused (auth failure / at capacity)
     HEARTBEAT  discovery: member liveness refresh
     LEAVE      discovery: polite departure
+    LEAVE_INTENT  discovery: departure announced ahead of time (drain)
 
 When the ``SACK`` flag is set, the payload begins with a selective-ack
 block — ``u8 count`` followed by ``count`` inclusive ``(start, end)``
@@ -95,6 +96,7 @@ class PacketType(enum.IntEnum):
     JOIN_NAK = 8    # discovery: admission refused (auth failure)
     HEARTBEAT = 9   # discovery: member liveness refresh
     LEAVE = 10      # discovery: polite departure
+    LEAVE_INTENT = 11  # discovery: departure announced ahead of time (drain)
 
 
 #: Wire byte -> packet type, so decode skips enum construction per datagram.

@@ -255,6 +255,28 @@ class TestCellServer:
         assert cell_server.scheduler.pollable_count() == 0
         assert cell_server.transport.fileno() == -1
 
+    def test_double_stop_and_double_close_are_idempotent(self):
+        """Regression: stop/close twice (in any mix) must be harmless —
+        signal handlers and finally-blocks routinely double up."""
+        config = ServerConfig(
+            cell=CellConfig(cell_name="twice"), discovery_port=0)
+        cell_server = CellServer(config)
+        cell_server.start()
+        cell_server.stop()
+        cell_server.stop()
+        cell_server.close()
+        cell_server.close()
+        assert cell_server.scheduler.pollable_count() == 0
+        assert cell_server.transport.fileno() == -1
+
+    def test_close_without_start_is_safe(self):
+        config = ServerConfig(
+            cell=CellConfig(cell_name="unstarted"), discovery_port=0)
+        cell_server = CellServer(config)
+        cell_server.close()
+        cell_server.close()
+        assert cell_server.transport.fileno() == -1
+
     def test_sockets_are_not_inheritable(self):
         """Fork-safety: no child (match workers included) may inherit the
         cell's sockets — a worker crash must never be able to disturb,
